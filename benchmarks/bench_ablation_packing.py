@@ -1,0 +1,48 @@
+"""Ablation A7 — BLE packing in the baseline flow.
+
+Measures what LUT→FF pair packing (the UTPlaceF-style preprocessing the
+paper's Section I cites) buys the baseline, and confirms DSPlacer's edge is
+orthogonal to it.
+"""
+
+from repro.eval import render_table
+from repro.eval.experiments import get_device, get_netlist
+from repro.placers import VivadoLikePlacer
+from repro.placers.packing import pack_lut_ff_pairs, packing_quality
+from repro.router import GlobalRouter
+from repro.timing import StaticTimingAnalyzer, max_frequency
+
+SUITE = "ismartdnn"
+
+
+def test_ablation_packing(benchmark, settings, emit):
+    device = get_device(settings)
+    netlist = get_netlist(settings, SUITE)
+    packing = pack_lut_ff_pairs(netlist)
+    sta = StaticTimingAnalyzer(netlist)
+    router = GlobalRouter()
+
+    def run():
+        out = {}
+        for name, flag in (("unpacked", False), ("packed", True)):
+            p = VivadoLikePlacer(seed=settings.seed, pack_ble=flag).place(netlist, device)
+            out[name] = (
+                p,
+                max_frequency(sta, p, router.route(p)),
+                packing_quality(p, packing),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_packing",
+        render_table(
+            ["flow", "f_max (MHz)", "HPWL (um)", "mean LUT-FF dist (um)"],
+            [
+                [k, f"{f:.0f}", f"{p.hpwl():.4g}", f"{q:.1f}"]
+                for k, (p, f, q) in results.items()
+            ],
+            title=f"Ablation A7: BLE packing ({packing.n_pairs} LUT→FF pairs).",
+        ),
+    )
+    assert results["packed"][2] <= results["unpacked"][2]

@@ -1,0 +1,32 @@
+"""Fig. 7(a) — datapath DSP identification: GCN vs PADE-style SVM.
+
+Leave-one-out over the five suites (paper Section V-B): four benchmarks
+train, the held-out one tests; repeated for every benchmark. The paper
+reports GCN ≈ 96% average vs SVM ≈ 81% average; the shape to reproduce is
+GCN ≥ SVM on every suite with a clear average gap.
+"""
+
+from repro.eval import render_table, run_fig7
+
+
+def test_fig7a_identification(benchmark, settings, emit):
+    result = benchmark.pedantic(run_fig7, args=(settings,), rounds=1, iterations=1)
+    names = list(result.gcn_accuracy)
+    rows = [
+        [n, f"{result.svm_accuracy[n]:.1%}", f"{result.gcn_accuracy[n]:.1%}"] for n in names
+    ]
+    rows.append(["average", f"{result.svm_mean:.1%}", f"{result.gcn_mean:.1%}"])
+    emit(
+        "fig7a",
+        render_table(
+            ["Benchmark", "SVM [28]", "GCN"],
+            rows,
+            title="Fig. 7(a) (reproduced): Datapath DSP identification comparison.",
+        ),
+    )
+
+    # paper shape: GCN wins on average with a real gap, and never loses badly
+    assert result.gcn_mean > result.svm_mean + 0.02
+    assert result.gcn_mean >= 0.9
+    for n in names:
+        assert result.gcn_accuracy[n] >= result.svm_accuracy[n] - 0.02

@@ -1,0 +1,43 @@
+"""Fig. 7(b) — GCN training/testing accuracy curves.
+
+The paper plots train/test accuracy vs epoch for the identification GCN;
+the shape to reproduce is fast convergence to a high plateau with the test
+curve tracking the train curve (no overfit collapse).
+"""
+
+import numpy as np
+
+from repro.eval import render_table, run_fig7
+
+
+def _sparkline(values, width=30):
+    marks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    idx = np.linspace(0, len(values) - 1, num=min(width, len(values))).astype(int)
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-9)
+    return "".join(marks[int((values[i] - lo) / span * (len(marks) - 1))] for i in idx)
+
+
+def test_fig7b_training_curves(benchmark, settings, emit):
+    result = benchmark.pedantic(run_fig7, args=(settings,), rounds=1, iterations=1)
+    lines = ["Fig. 7(b) (reproduced): Training and Testing accuracy vs epoch."]
+    rows = []
+    for name in result.train_curves:
+        tr = result.train_curves[name]
+        te = result.test_curves[name]
+        rows.append([name, f"{tr[0]:.2f}→{tr[-1]:.2f}", _sparkline(tr)])
+        rows.append([f"  (test)", f"{te[0]:.2f}→{te[-1]:.2f}", _sparkline(te)])
+    emit(
+        "fig7b",
+        "\n".join(lines)
+        + "\n"
+        + render_table(["fold (held-out)", "accuracy", "curve"], rows),
+    )
+
+    for name in result.train_curves:
+        tr, te = result.train_curves[name], result.test_curves[name]
+        assert tr[-1] >= tr[0] - 0.02  # learning, not collapsing
+        assert te[-1] >= 0.85  # high test plateau
+        assert max(tr) - te[-1] < 0.15  # no drastic train/test gap

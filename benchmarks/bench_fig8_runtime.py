@@ -1,0 +1,46 @@
+"""Fig. 8 — runtime profiling of the DSPlacer flow.
+
+The paper profiles iSmartDNN and SkyNet: prototype placement + other
+component placement dominate (≈90% of total), datapath DSP extraction is
+small, and routing takes the rest. We reproduce the same breakdown with our
+flow; note (documented in EXPERIMENTS.md) that the *datapath DSP placement*
+slice is relatively heavier here because the paper's MCF/ILP run in C++
+(LEMON/Gurobi) while ours are pure Python.
+"""
+
+from repro.eval import render_table, run_fig8
+
+
+def test_fig8_runtime_breakdown(benchmark, settings, emit):
+    breakdowns = benchmark.pedantic(
+        run_fig8, args=(settings,), rounds=1, iterations=1
+    )
+    rows = []
+    for rb in breakdowns:
+        for phase, sec, pct in rb.rows():
+            rows.append([rb.benchmark, phase, f"{sec:.2f}", f"{pct:.1f}%"])
+        rows.append([rb.benchmark, "total", f"{rb.total:.2f}", "100%"])
+    emit(
+        "fig8",
+        render_table(
+            ["Benchmark", "Phase", "seconds", "share"],
+            rows,
+            title="Fig. 8 (reproduced): Runtime profiling.",
+        ),
+    )
+
+    for rb in breakdowns:
+        pct = rb.percentages
+        # placement stages (prototype + incremental other-components)
+        # dominate the flow, as in the paper (90.6% / 88.3%)
+        placement_share = pct["prototype_placement"] + pct["other_placement"]
+        assert placement_share > 40.0
+        # extraction is a small slice (paper: ~2%)
+        assert pct["datapath_extraction"] < 15.0
+        assert set(pct) == {
+            "prototype_placement",
+            "datapath_extraction",
+            "dsp_placement",
+            "other_placement",
+            "routing",
+        }

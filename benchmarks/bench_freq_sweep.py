@@ -1,0 +1,41 @@
+"""Extension — WNS vs clock frequency sweep (the §V-C protocol as a curve).
+
+Sweeps the evaluation clock across the feasible band and reports each
+tool's WNS at every point. The crossover structure generalizes Table II:
+below every tool's f_max all WNS are positive; as frequency rises the
+AMF-like baseline fails first, then the Vivado-like baseline, and DSPlacer
+holds out longest (its break frequency is the highest).
+"""
+
+from repro.eval import render_table
+from repro.eval.experiments import run_freq_sweep
+
+
+def test_freq_sweep(benchmark, settings, emit):
+    result = benchmark.pedantic(
+        run_freq_sweep, args=(settings,), kwargs={"suite": "skrskr1"}, rounds=1, iterations=1
+    )
+    rows = []
+    for i, f in enumerate(result.freqs_mhz):
+        rows.append(
+            [
+                f"{f:.0f}",
+                f"{result.wns_by_tool['vivado'][i]:+.3f}",
+                f"{result.wns_by_tool['amf'][i]:+.3f}",
+                f"{result.wns_by_tool['dsplacer'][i]:+.3f}",
+            ]
+        )
+    emit(
+        "freq_sweep",
+        render_table(
+            ["f (MHz)", "vivado WNS", "amf WNS", "dsplacer WNS"],
+            rows,
+            title=f"Extension: WNS vs clock — {result.benchmark}.",
+        ),
+    )
+    # monotonicity: WNS decreases as the clock rises, for every tool
+    for tool, curve in result.wns_by_tool.items():
+        assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:])), tool
+    # crossover ordering: DSPlacer breaks last, AMF no later than vivado
+    assert result.break_frequency("dsplacer") >= result.break_frequency("vivado")
+    assert result.break_frequency("amf") <= result.break_frequency("vivado") * 1.05

@@ -1,0 +1,45 @@
+"""Router-model study: RUDY estimator vs edge-capacity pattern router.
+
+Not a paper figure — an infrastructure validation bench: the cheap RUDY
+model used inside the Table II loop must agree with the more physical
+pattern router on congestion geography and relative wirelength, otherwise
+the detour-driven timing conclusions would be model artifacts.
+"""
+
+import numpy as np
+
+from repro.eval import render_table
+from repro.eval.experiments import get_device, get_netlist
+from repro.placers import VivadoLikePlacer
+from repro.router import GlobalRouter, PatternRouter
+
+
+def test_router_model_agreement(benchmark, settings, emit):
+    device = get_device(settings)
+    netlist = get_netlist(settings, "skynet")
+    placement = VivadoLikePlacer(seed=settings.seed).place(netlist, device)
+
+    def run():
+        rudy = GlobalRouter(grid=(24, 24)).route(placement)
+        pattern = PatternRouter(grid=(24, 24), n_rounds=2).route(placement)
+        return rudy, pattern
+
+    rudy, pattern = benchmark.pedantic(run, rounds=1, iterations=1)
+    a, b = rudy.congestion.ravel(), pattern.congestion.ravel()
+    keep = (a > 0) | (b > 0)
+    corr = float(np.corrcoef(a[keep], b[keep])[0, 1])
+    wl_ratio = pattern.total_wirelength / rudy.total_wirelength
+    emit(
+        "router_models",
+        render_table(
+            ["model", "total WL (um)", "max congestion", "overflow frac"],
+            [
+                ["RUDY", f"{rudy.total_wirelength:.4g}", f"{rudy.max_congestion:.2f}", f"{rudy.overflow_frac:.3f}"],
+                ["pattern", f"{pattern.total_wirelength:.4g}", f"{pattern.max_congestion:.2f}", f"{pattern.overflow_frac:.3f}"],
+                ["congestion-map corr", f"{corr:.3f}", "-", "-"],
+            ],
+            title="Router models: RUDY estimator vs pattern router.",
+        ),
+    )
+    assert corr > 0.4
+    assert 0.7 <= wl_ratio <= 1.6

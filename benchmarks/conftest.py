@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper's Section V (see
+DESIGN.md's experiment index) at ``REPRO_SCALE`` (default 0.25, see the
+scale protocol in ``repro.eval.experiments``). Rendered tables are printed
+and also written to ``benchmarks/results/`` so `pytest benchmarks/
+--benchmark-only` leaves artifacts behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval import ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered experiment artifact and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,70 @@
+"""Placing a systolic-array accelerator (diverse-architecture support).
+
+The paper contrasts DSPlacer with R-SAD, which only handles systolic
+arrays. This example goes the other way: it generates a weight-stationary
+systolic array — the architecture DSPlacer was *not* specialized for — and
+shows the same flow (identification → DSP graph → MCF → cascade
+legalization) still produces a legal, well-timed layout, with every
+partial-sum column segment on dedicated cascade wiring.
+
+Usage:  python examples/systolic_array.py [rows] [cols]
+"""
+
+import sys
+
+from repro.accelgen import SystolicConfig, generate_systolic
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.eval.visualization import layout_metrics
+from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
+from repro.fpga import scaled_zcu104
+from repro.placers import VivadoLikePlacer
+from repro.router import GlobalRouter
+from repro.timing import StaticTimingAnalyzer, format_timing_report, max_frequency
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+    device = scaled_zcu104(0.15)
+    config = SystolicConfig(
+        name=f"systolic{rows}x{cols}",
+        rows=rows,
+        cols=cols,
+        max_chain=10,
+        n_lut=rows * cols * 25,
+        n_ff=rows * cols * 40,
+        n_lutram=rows * cols,
+        n_bram=max(8, rows),
+        freq_mhz=250.0,
+    )
+    netlist = generate_systolic(config, device=device)
+    print(f"{netlist.stats(device.n_dsp)}  ({len(netlist.macros)} cascade segments)")
+
+    sta = StaticTimingAnalyzer(netlist)
+    router = GlobalRouter()
+
+    base = VivadoLikePlacer(seed=0).place(netlist, device)
+    f_base = max_frequency(sta, base, router.route(base))
+
+    result = DSPlacer(device, DSPlacerConfig(identification="heuristic", seed=0)).place(netlist)
+    route = router.route(result.placement)
+    f_dsp = max_frequency(sta, result.placement, route)
+
+    graph = prune_control_dsps(
+        build_dsp_graph(netlist, iddfs_dsp_paths(netlist)),
+        {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()},
+    )
+    m = layout_metrics(result.placement, graph)
+    print(f"\n{'flow':<12}{'f_max (MHz)':>12}")
+    print(f"{'vivado-like':<12}{f_base:>12.0f}")
+    print(f"{'dsplacer':<12}{f_dsp:>12.0f}")
+    print(f"\npartial-sum cascades on dedicated wiring: {m.cascade_adjacent_frac:.0%}")
+    print(f"identification accuracy on this foreign architecture: "
+          f"{result.identification.accuracy:.0%}")
+    rep = sta.analyze(result.placement, route)
+    print("\n" + format_timing_report(rep, netlist, k_paths=2))
+
+
+if __name__ == "__main__":
+    main()

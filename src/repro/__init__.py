@@ -1,0 +1,25 @@
+"""DSPlacer reproduction: datapath-driven DSP placement for FPGA CNN accelerators.
+
+This package reproduces the system described in *"DSPlacer: DSP Placement for
+FPGA-based CNN Accelerator"* (DAC 2025), including every substrate the paper
+depends on: a netlist model, an UltraScale+-style device model, a synthetic
+CNN-accelerator benchmark generator, baseline analytical placers, a pattern
+router, a static timing analyzer, a from-scratch GCN/SVM learning stack, and
+min-cost-flow / ILP / isotonic optimization solvers.
+
+The headline entry point is :class:`repro.core.DSPlacer`.
+"""
+
+__all__ = ["DSPlacer", "DSPlacerConfig", "DSPlacerResult", "__version__"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy re-export so `import repro.netlist` etc. do not pull in the whole
+    # core stack (and its numpy/scipy machinery) when only a substrate is used.
+    if name in ("DSPlacer", "DSPlacerConfig", "DSPlacerResult"):
+        from repro.core import dsplacer
+
+        return getattr(dsplacer, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,29 @@
+"""Synthetic CNN-accelerator benchmark generator.
+
+The paper evaluates on HLS-produced netlists of DAC System Design Contest
+designs (iSmartDNN, SkyNet, SkrSkr-1/2/3). Those bitstream-level netlists are
+not redistributable, so this package generates structurally equivalent
+pre-implementation netlists: processing units made of PE arrays, each PE a
+cascaded DSP48 chain (paper Fig. 1(b)), activation/weight/output BRAM
+buffers, line-buffer LUTRAMs, adder trees, AXI PS↔PL interface stages, a
+control FSM with storage-heavy control-path DSPs, and filler logic that
+brings resource totals to the published Table I numbers.
+
+Every DSP carries a ground-truth ``is_datapath`` label, which trains the GCN
+and enables oracle ablations.
+"""
+
+from repro.accelgen.config import AcceleratorConfig
+from repro.accelgen.generator import generate_accelerator
+from repro.accelgen.suites import SUITE_NAMES, suite_config, generate_suite
+from repro.accelgen.systolic import SystolicConfig, generate_systolic
+
+__all__ = [
+    "AcceleratorConfig",
+    "generate_accelerator",
+    "SUITE_NAMES",
+    "suite_config",
+    "generate_suite",
+    "SystolicConfig",
+    "generate_systolic",
+]

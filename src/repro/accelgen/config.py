@@ -1,0 +1,76 @@
+"""Accelerator generator configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Shape and resource budget of one generated CNN accelerator.
+
+    Resource targets (``n_lut`` etc.) are the Table I totals; the generator
+    first builds the functional structure (PEs, buffers, control) and then
+    adds filler logic clusters until the totals are met.
+
+    Attributes:
+        total_dsps: DSP cells in the design (datapath + control).
+        control_dsp_frac: Fraction of DSPs on the control path (address
+            generators / loop counters — storage-heavy, per Section III-B).
+        chain_len: DSPs per PE, i.e. cascade macro length.
+        pes_per_pu: PEs per processing unit (shared adder tree + buffers).
+        freq_mhz: Target clock (Table I "freq.").
+    """
+
+    name: str
+    total_dsps: int
+    chain_len: int
+    pes_per_pu: int
+    n_lut: int
+    n_lutram: int
+    n_ff: int
+    n_bram: int
+    freq_mhz: float
+    control_dsp_frac: float = 0.05
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_dsps < 2:
+            raise ValueError("need at least 2 DSPs")
+        if self.chain_len < 2:
+            raise ValueError("cascade chains need length >= 2")
+        if not 0.0 <= self.control_dsp_frac < 0.5:
+            raise ValueError("control_dsp_frac out of range")
+        if self.pes_per_pu < 1:
+            raise ValueError("pes_per_pu must be positive")
+
+    @property
+    def n_control_dsps(self) -> int:
+        return max(1, round(self.total_dsps * self.control_dsp_frac))
+
+    @property
+    def n_datapath_dsps(self) -> int:
+        return self.total_dsps - self.n_control_dsps
+
+    def scaled(self, scale: float) -> "AcceleratorConfig":
+        """Proportionally shrunken variant (for reduced-scale experiments).
+
+        DSP, LUT, FF, LUTRAM and BRAM budgets shrink by ``scale``; the PE
+        micro-architecture (chain length, PEs per PU) is preserved so the
+        cascade/datapath structure is unchanged.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        if scale == 1.0:
+            return self
+        f = float(scale)
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}@{scale:g}",
+            total_dsps=max(2 * self.chain_len + 2, round(self.total_dsps * f)),
+            n_lut=max(500, round(self.n_lut * f)),
+            n_lutram=max(32, round(self.n_lutram * f)),
+            n_ff=max(500, round(self.n_ff * f)),
+            n_bram=max(8, round(self.n_bram * f)),
+        )

@@ -1,0 +1,110 @@
+"""The five benchmark suites of the paper's Table I.
+
+Resource totals, DSP counts and target frequencies are taken verbatim from
+Table I; micro-architectural shape (chain length, PEs per PU, control-DSP
+fraction) is chosen to match how the respective DAC-SDC designs use DSPs
+(iSmartDNN/SkyNet: modest PE arrays; SkrSkr variants: progressively wider
+systolic-style arrays at 37→83% DSP utilisation).
+"""
+
+from __future__ import annotations
+
+from repro.accelgen.config import AcceleratorConfig
+from repro.accelgen.generator import generate_accelerator
+from repro.fpga.device import Device
+from repro.netlist.netlist import Netlist
+
+_SUITES: dict[str, AcceleratorConfig] = {
+    "ismartdnn": AcceleratorConfig(
+        name="iSmartDNN",
+        total_dsps=197,
+        chain_len=6,
+        pes_per_pu=4,
+        n_lut=53503,
+        n_lutram=2919,
+        n_ff=55767,
+        n_bram=122,
+        freq_mhz=130.0,
+        control_dsp_frac=0.06,
+        seed=11,
+    ),
+    "skynet": AcceleratorConfig(
+        name="SkyNet",
+        total_dsps=346,
+        chain_len=7,
+        pes_per_pu=6,
+        n_lut=43146,
+        n_lutram=2748,
+        n_ff=51410,
+        n_bram=192,
+        freq_mhz=150.0,
+        control_dsp_frac=0.06,
+        seed=12,
+    ),
+    "skrskr1": AcceleratorConfig(
+        name="SkrSkr-1",
+        total_dsps=642,
+        chain_len=8,
+        pes_per_pu=8,
+        n_lut=35743,
+        n_lutram=3611,
+        n_ff=53887,
+        n_bram=196,
+        freq_mhz=195.0,
+        control_dsp_frac=0.05,
+        seed=13,
+    ),
+    "skrskr2": AcceleratorConfig(
+        name="SkrSkr-2",
+        total_dsps=1180,
+        chain_len=8,
+        pes_per_pu=8,
+        n_lut=70558,
+        n_lutram=3815,
+        n_ff=64007,
+        n_bram=196,
+        freq_mhz=175.0,
+        control_dsp_frac=0.05,
+        seed=14,
+    ),
+    "skrskr3": AcceleratorConfig(
+        name="SkrSkr-3",
+        total_dsps=1431,
+        chain_len=9,
+        pes_per_pu=8,
+        n_lut=70382,
+        n_lutram=3791,
+        n_ff=67257,
+        n_bram=196,
+        freq_mhz=175.0,
+        control_dsp_frac=0.04,
+        seed=15,
+    ),
+}
+
+#: Table I order.
+SUITE_NAMES: tuple[str, ...] = tuple(_SUITES)
+
+#: Published Table I frequencies, for the EXPERIMENTS.md comparison.
+PAPER_TABLE1 = {
+    "ismartdnn": dict(lut=53503, lutram=2919, ff=55767, bram=122, dsp=197, freq=130.0),
+    "skynet": dict(lut=43146, lutram=2748, ff=51410, bram=192, dsp=346, freq=150.0),
+    "skrskr1": dict(lut=35743, lutram=3611, ff=53887, bram=196, dsp=642, freq=195.0),
+    "skrskr2": dict(lut=70558, lutram=3815, ff=64007, bram=196, dsp=1180, freq=175.0),
+    "skrskr3": dict(lut=70382, lutram=3791, ff=67257, bram=196, dsp=1431, freq=175.0),
+}
+
+
+def suite_config(name: str, scale: float = 1.0) -> AcceleratorConfig:
+    """Config of a named suite, optionally shrunken by ``scale``."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in _SUITES:
+        raise KeyError(f"unknown suite {name!r}; choose from {SUITE_NAMES}")
+    return _SUITES[key].scaled(scale)
+
+
+def generate_suite(
+    name: str, scale: float = 1.0, device: Device | None = None, seed: int | None = None
+) -> Netlist:
+    """Generate a named benchmark netlist (optionally reduced-scale)."""
+    return generate_accelerator(suite_config(name, scale), device=device, seed=seed)

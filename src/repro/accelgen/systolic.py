@@ -1,0 +1,208 @@
+"""Systolic-array accelerator generator.
+
+The paper positions DSPlacer against R-SAD [26], whose "specialized nature
+limits its applicability to CNN accelerators with more diverse
+architectures". This module generates the *other* architecture family — a
+weight-stationary 2-D systolic array (rows × cols of MAC PEs, activations
+streaming left→right, partial sums cascading top→bottom through the DSP
+column spine) — so the claim that DSPlacer handles both families is
+testable (see ``benchmarks/bench_systolic_extension.py``).
+
+Partial-sum columns map onto DSP cascade macros (that is how systolic
+arrays are actually built on UltraScale+: the PCIN/PCOUT spine *is* the
+accumulation path), split into segments of at most ``max_chain`` so they
+fit device columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelgen.generator import (
+    CASCADE_NET_WEIGHT,
+    CONTROL_NET_WEIGHT,
+    DATA_NET_WEIGHT,
+    _Builder,
+)
+from repro.accelgen.config import AcceleratorConfig
+from repro.fpga.device import Device
+from repro.netlist.cell import CellType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """Shape of a systolic-array accelerator."""
+
+    name: str
+    rows: int
+    cols: int
+    max_chain: int = 12  # cascade-segment cap (device column height bound)
+    n_lut: int = 4000
+    n_lutram: int = 250
+    n_ff: int = 5000
+    n_bram: int = 24
+    freq_mhz: float = 250.0
+    n_control_dsps: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 1:
+            raise ValueError("need a systolic grid of at least 2x1")
+        if self.max_chain < 2:
+            raise ValueError("cascade segments need length >= 2")
+
+    @property
+    def total_dsps(self) -> int:
+        return self.rows * self.cols + self.n_control_dsps
+
+
+def generate_systolic(
+    config: SystolicConfig, device: Device | None = None, seed: int | None = None
+) -> Netlist:
+    """Generate a weight-stationary systolic-array netlist."""
+    rng = np.random.default_rng(config.seed if seed is None else seed)
+    # reuse the shared builder through a minimal AcceleratorConfig shim
+    shim = AcceleratorConfig(
+        name=config.name,
+        total_dsps=max(config.total_dsps, 4),
+        chain_len=max(2, min(config.max_chain, config.rows)),
+        pes_per_pu=1,
+        n_lut=config.n_lut,
+        n_lutram=config.n_lutram,
+        n_ff=config.n_ff,
+        n_bram=config.n_bram,
+        freq_mhz=config.freq_mhz,
+    )
+    b = _Builder(shim, rng)
+    b.nl.name = config.name
+    b.nl.target_freq_mhz = config.freq_mhz
+
+    if device is not None and device.ps is not None:
+        ps_xy = device.ps.ps_to_pl_xy
+    else:
+        ps_xy = (100.0, 100.0)
+    ps = b.cell("ps", CellType.PS, fixed_xy=ps_xy, role="ps")
+
+    # feeders: activation FIFOs on the left edge, weight loaders on top
+    act_brams = [b.cell("feed/act", CellType.BRAM, role="act_buf") for _ in range(max(2, config.rows // 2))]
+    wt_brams = [b.cell("feed/wt", CellType.BRAM, role="wt_buf") for _ in range(max(2, config.cols // 2))]
+    out_brams = [b.cell("drain/out", CellType.BRAM, role="out_buf") for _ in range(max(1, config.cols // 4))]
+    axi_ffs = []
+    for i in range(8):
+        lut = b.cell("axi/lut", CellType.LUT, role="axi_in")
+        ff = b.cell("axi/ff", CellType.FF, role="axi_in")
+        b.net("axi", ps, [lut])
+        b.net("axi_q", lut, [ff])
+        axi_ffs.append(ff)
+    for i, bram in enumerate(act_brams + wt_brams):
+        b.net("fill_feed", axi_ffs[i % len(axi_ffs)], [bram], weight=CASCADE_NET_WEIGHT)
+
+    # the PE mesh
+    grid: list[list[int]] = []
+    act_regs: dict[tuple[int, int], int] = {}
+    for r in range(config.rows):
+        row_cells: list[int] = []
+        for c in range(config.cols):
+            dsp = b.cell(
+                "pe/dsp", CellType.DSP, is_datapath=True, role="pe_dsp", row=r, col=c
+            )
+            areg = b.cell("pe/areg", CellType.FF, role="act_reg", row=r, col=c)
+            b.net("act_in", areg, [dsp], weight=DATA_NET_WEIGHT)
+            act_regs[(r, c)] = areg
+            row_cells.append(dsp)
+        grid.append(row_cells)
+
+    # activation stream: left feeder -> areg(r,0) -> areg(r,1) -> ...
+    for r in range(config.rows):
+        b.net("act_feed", act_brams[r % len(act_brams)], [act_regs[(r, 0)]], weight=CASCADE_NET_WEIGHT)
+        for c in range(config.cols - 1):
+            b.net("act_pass", act_regs[(r, c)], [act_regs[(r, c + 1)]], weight=CASCADE_NET_WEIGHT)
+
+    # weight load: top feeder -> weight regs down each column (low priority)
+    for c in range(config.cols):
+        prev = wt_brams[c % len(wt_brams)]
+        for r in range(config.rows):
+            wreg = b.cell("pe/wreg", CellType.FF, role="wt_reg", row=r, col=c)
+            b.net("wt_pass", prev, [wreg], weight=0.5)
+            b.net("wt_use", wreg, [grid[r][c]], weight=DATA_NET_WEIGHT)
+            prev = wreg
+
+    # partial-sum spine: column-wise DSP cascades in <= max_chain segments
+    for c in range(config.cols):
+        column = [grid[r][c] for r in range(config.rows)]
+        for s in range(0, config.rows, config.max_chain):
+            segment = column[s : s + config.max_chain]
+            for a, bb in zip(segment, segment[1:]):
+                b.net("psum_cascade", a, [bb], weight=CASCADE_NET_WEIGHT)
+            if len(segment) >= 2:
+                b.nl.add_macro(segment)
+            if s > 0:  # fabric hop between cascade segments
+                b.net("psum_hop", column[s - 1], [segment[0]], weight=CASCADE_NET_WEIGHT)
+        b.net("psum_out", column[-1], [out_brams[c % len(out_brams)]], weight=CASCADE_NET_WEIGHT)
+    for bram in out_brams:
+        lut = b.cell("drain/lut", CellType.LUT, role="axi_out")
+        b.net("drain", bram, [lut])
+        b.net("drain_q", lut, [ps])
+
+    # control: small FSM + address-generator DSPs (storage-flanked)
+    n_fsm = 16
+    fsm_luts = [b.cell("ctrl/fsm/lut", CellType.LUT, role="fsm") for _ in range(n_fsm)]
+    fsm_ffs = [b.cell("ctrl/fsm/ff", CellType.FF, role="fsm") for _ in range(n_fsm)]
+    for i in range(n_fsm):
+        b.net("fsm_d", fsm_luts[i], [fsm_ffs[i]], weight=CONTROL_NET_WEIGHT)
+        sinks = [fsm_luts[(i + 1) % n_fsm]]
+        if i % 4 == 0:
+            sinks.append(fsm_luts[i])
+        b.net("fsm_q", fsm_ffs[i], sinks, weight=CONTROL_NET_WEIGHT)
+    all_brams = act_brams + wt_brams + out_brams
+    for k in range(config.n_control_dsps):
+        ctr = b.cell("ctrl/counter", CellType.LUTRAM, role="counter")
+        b.net("ctr_en", fsm_ffs[k % n_fsm], [ctr], weight=CONTROL_NET_WEIGHT)
+        dsp = b.cell("ctrl/dsp", CellType.DSP, is_datapath=False, role="ctrl_dsp")
+        b.net("ctrl_in", fsm_ffs[(2 * k) % n_fsm], [dsp], weight=CONTROL_NET_WEIGHT)
+        b.net("ctrl_in", ctr, [dsp], weight=CONTROL_NET_WEIGHT)
+        addr_ff = b.cell("ctrl/addr_ff", CellType.FF, role="ctrl")
+        b.net("ctrl_addr_d", dsp, [addr_ff], weight=CONTROL_NET_WEIGHT)
+        n_addr = min(len(all_brams), 4)
+        sinks = list(rng.choice(all_brams, size=n_addr, replace=False))
+        sinks.append(fsm_luts[k % n_fsm])
+        b.net("ctrl_addr_q", addr_ff, sinks, weight=CONTROL_NET_WEIGHT)
+
+    # filler to the budget
+    def _pick(pool):
+        return pool[int(rng.integers(len(pool)))]
+
+    while b.remaining(CellType.LUT, config.n_lut) > 2 and b.remaining(CellType.FF, config.n_ff) > 2:
+        prev = _pick(b.ff_pool)
+        for _ in range(min(8, b.remaining(CellType.LUT, config.n_lut), b.remaining(CellType.FF, config.n_ff))):
+            lut = b.cell("fill/lut", CellType.LUT, role="filler")
+            ff = b.cell("fill/ff", CellType.FF, role="filler")
+            b.net("fill", prev, [lut])
+            b.net("fill_q", lut, [ff])
+            prev = ff
+        b.net("fill_out", prev, [_pick(b.lut_pool)])
+    while b.remaining(CellType.FF, config.n_ff) > 0:
+        prev = _pick(b.ff_pool)
+        for _ in range(min(16, b.remaining(CellType.FF, config.n_ff))):
+            ff = b.cell("fill/srff", CellType.FF, role="filler")
+            b.net("sr", prev, [ff])
+            prev = ff
+    while b.remaining(CellType.LUT, config.n_lut) > 0:
+        prev = _pick(b.ff_pool)
+        for _ in range(min(4, b.remaining(CellType.LUT, config.n_lut))):
+            lut = b.cell("fill/rtlut", CellType.LUT, role="filler")
+            b.net("rt", prev, [lut])
+            prev = lut
+    while b.remaining(CellType.LUTRAM, config.n_lutram) > 0:
+        lr = b.cell("fill/lutram", CellType.LUTRAM, role="filler")
+        b.net("fill_lr", _pick(b.ff_pool), [lr])
+        b.net("fill_lr_q", lr, [_pick(b.lut_pool)])
+    while b.remaining(CellType.BRAM, config.n_bram) > 0:
+        br = b.cell("fill/bram", CellType.BRAM, role="filler")
+        b.net("fill_br", _pick(b.ff_pool), [br])
+
+    b.nl.validate()
+    return b.nl

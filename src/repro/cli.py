@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+```
+python -m repro generate --suite skynet --scale 0.1 -o skynet.json
+python -m repro place    --suite skrskr1 --scale 0.1 --tool dsplacer
+python -m repro report   --suite skynet --scale 0.1 --tool vivado --paths 5
+python -m repro experiment table1
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accelgen import SUITE_NAMES, generate_suite
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.fpga import scaled_zcu104
+from repro.netlist import save_netlist
+from repro.placers import AMFLikePlacer, VivadoLikePlacer
+from repro.router import GlobalRouter
+from repro.timing import StaticTimingAnalyzer, format_timing_report, max_frequency
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--suite", default="skynet", choices=SUITE_NAMES)
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _place(args) -> int:
+    device = scaled_zcu104(args.scale)
+    netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
+    print(f"{netlist.stats(device.n_dsp)}", file=sys.stderr)
+    if args.tool == "vivado":
+        placement = VivadoLikePlacer(seed=args.seed).place(netlist, device)
+    elif args.tool == "amf":
+        placement = AMFLikePlacer(seed=args.seed).place(netlist, device)
+    else:
+        result = DSPlacer(
+            device, DSPlacerConfig(identification="heuristic", seed=args.seed)
+        ).place(netlist)
+        placement = result.placement
+        print(
+            f"datapath DSPs: {result.n_datapath_dsps} "
+            f"(identification acc {result.identification.accuracy:.0%})",
+            file=sys.stderr,
+        )
+    route = GlobalRouter().route(placement)
+    sta = StaticTimingAnalyzer(netlist)
+    fmax = max_frequency(sta, placement, route)
+    rep = sta.analyze(placement, route)
+    print(
+        f"tool={args.tool} suite={args.suite} scale={args.scale} "
+        f"legal={placement.is_legal()} hpwl={placement.hpwl():.4g} "
+        f"routed_wl={route.total_wirelength:.4g} wns={rep.wns_ns:+.3f} "
+        f"tns={rep.tns_ns:+.1f} fmax={fmax:.0f}MHz"
+    )
+    if getattr(args, "paths", 0):
+        print(format_timing_report(rep, netlist, k_paths=args.paths))
+    if getattr(args, "svg", None):
+        from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
+        from repro.eval.visualization import placement_to_svg
+
+        graph = prune_control_dsps(
+            build_dsp_graph(netlist, iddfs_dsp_paths(netlist)),
+            {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()},
+        )
+        placement_to_svg(placement, graph, path=args.svg, title=f"{args.suite} — {args.tool}")
+        print(f"svg: {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _generate(args) -> int:
+    device = scaled_zcu104(args.scale)
+    netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
+    save_netlist(netlist, args.output)
+    print(f"wrote {args.output}: {netlist.stats(device.n_dsp)}")
+    if args.verilog:
+        from repro.netlist import save_verilog
+
+        save_verilog(netlist, args.verilog)
+        print(f"wrote {args.verilog} (structural Verilog)")
+    return 0
+
+
+def _experiment(args) -> int:
+    from repro.eval import render_table, run_table1
+
+    if args.which == "table1":
+        rows = run_table1()
+        print(
+            render_table(
+                ["Design", "#LUT", "#LUTRAM", "#FF", "#BRAM", "#DSP", "DSP%", "freq"],
+                [
+                    [r["design"], r["lut"], r["lutram"], r["ff"], r["bram"], r["dsp"], r["dsp_pct"], r["freq_mhz"]]
+                    for r in rows
+                ],
+                title="Table I",
+            )
+        )
+        return 0
+    print(
+        "heavier experiments run through the benchmark harness:\n"
+        f"  pytest benchmarks/bench_{args.which}_*.py --benchmark-only -s",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a benchmark netlist as JSON")
+    _add_common(g)
+    g.add_argument("-o", "--output", default="netlist.json")
+    g.add_argument("--verilog", default=None, help="also write structural Verilog")
+    g.set_defaults(func=_generate)
+
+    p = sub.add_parser("place", help="place a suite and report PPA")
+    _add_common(p)
+    p.add_argument("--tool", default="dsplacer", choices=("vivado", "amf", "dsplacer"))
+    p.add_argument("--svg", default=None, help="write a layout SVG")
+    p.set_defaults(func=_place, paths=0)
+
+    r = sub.add_parser("report", help="place and print a timing report")
+    _add_common(r)
+    r.add_argument("--tool", default="vivado", choices=("vivado", "amf", "dsplacer"))
+    r.add_argument("--paths", type=int, default=5)
+    r.set_defaults(func=_place, svg=None)
+
+    e = sub.add_parser("experiment", help="run a named experiment")
+    e.add_argument("which", choices=("table1", "table2", "fig7", "fig8", "fig9"))
+    e.set_defaults(func=_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""DSPlacer core: the paper's contribution.
+
+- :mod:`repro.core.extraction` — datapath DSP extraction (Section III):
+  graph features, GCN identification, IDDFS DSP-graph construction.
+- :mod:`repro.core.placement` — datapath-driven DSP placement (Section IV):
+  linearized min-cost-flow assignment, ILP inter-column + exact intra-column
+  cascade legalization, and the incremental alternating loop.
+- :mod:`repro.core.dsplacer` — the :class:`DSPlacer` facade tying the whole
+  Fig. 2 flow together.
+"""
+
+__all__ = ["DSPlacer", "DSPlacerConfig", "DSPlacerResult"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        from repro.core import dsplacer
+
+        return getattr(dsplacer, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

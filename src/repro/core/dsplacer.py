@@ -1,0 +1,264 @@
+"""The DSPlacer facade (paper Fig. 2).
+
+Ties the full flow together:
+
+1. **prototype placement** — an off-the-shelf placer (the Vivado-like or
+   AMF-like baseline) places everything;
+2. **datapath DSP extraction** — node features + classifier identify the
+   datapath DSPs; IDDFS builds the DSP graph; control DSPs are pruned;
+3. **datapath-driven DSP placement** — iterate: linearized MCF assignment
+   (λ datapath-angle, η cascade penalties) → ILP inter-column + exact
+   intra-column cascade legalization → freeze the datapath DSPs and
+   re-place the other components (Fig. 6 alternation);
+4. emit the final placement; routing/STA are the caller's (see
+   :mod:`repro.eval`), matching the paper's use of external PnR.
+
+Example:
+    >>> from repro.fpga import small_device
+    >>> from repro.accelgen import generate_suite
+    >>> from repro.core import DSPlacer
+    >>> dev = small_device()
+    >>> netlist = generate_suite("ismartdnn", scale=0.02, device=dev)
+    >>> result = DSPlacer(dev).place(netlist)
+    >>> result.placement.is_legal()
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extraction.dsp_graph import build_dsp_graph, prune_control_dsps
+from repro.core.extraction.iddfs import iddfs_dsp_paths
+from repro.core.extraction.identification import (
+    DatapathIdentifier,
+    IdentificationResult,
+)
+from repro.core.placement.assignment import AssignmentConfig, DatapathDSPAssigner
+from repro.core.placement.incremental import replace_other_components
+from repro.core.placement.legalization import CascadeLegalizer
+from repro.fpga.device import Device
+from repro.ml.train import GraphSample
+from repro.netlist.netlist import Netlist
+from repro.placers.amf_like import AMFLikePlacer
+from repro.placers.placement import Placement
+from repro.placers.vivado_like import VivadoLikePlacer
+
+
+@dataclass(frozen=True)
+class DSPlacerConfig:
+    """DSPlacer knobs (paper defaults where stated).
+
+    Attributes:
+        identification: Classifier used when no trained identifier is
+            passed to :class:`DSPlacer` — ``"heuristic"`` (training-free
+            storage rule) or ``"oracle"``. The paper's GCN requires
+            training, so pass a fitted
+            :class:`~repro.core.extraction.DatapathIdentifier` instead.
+        lam: Datapath-angle trade-off λ (paper: 100).
+        eta: Cascade penalty η.
+        mcf_iterations: Internal MCF linearization iterations (paper: 50;
+            the loop stops early on convergence).
+        outer_iterations: Fig. 6 alternations between DSP placement and
+            other-component placement.
+    """
+
+    identification: str = "heuristic"
+    base_placer: str = "vivado"
+    lam: float = 100.0
+    eta: float = 25.0
+    candidate_k: int = 48
+    mcf_iterations: int = 50
+    outer_iterations: int = 2
+    iddfs_max_depth: int = 6
+    #: Per-iterate assignment solver. "mcf" = this repo's successive-
+    #: shortest-paths min-cost flow (the paper's formulation, solved by
+    #: LEMON's C++ network simplex there); "lsa" = scipy's Hungarian;
+    #: "auction" = this repo's vectorized ε-auction (ε-optimal; degrades to
+    #: price wars on near-tied dense rows, so not the default). All solve
+    #: the same linearized assignment — cross-checked in the tests — and
+    #: "auto" picks mcf for small instances and lsa above 64 datapath DSPs,
+    #: standing in for LEMON's C++ speed.
+    assignment_engine: str = "auto"
+    #: > 0 enables the congestion-aware extension: DSP sites in overloaded
+    #: routing bins are surcharged during assignment (see
+    #: :class:`~repro.core.placement.AssignmentConfig`).
+    congestion_weight: float = 0.0
+    #: enables the timing-driven extension: before each outer iteration an
+    #: STA required-time pass computes per-cell slacks and the assignment
+    #: pulls DSPs harder toward neighbours on failing paths.
+    timing_driven: bool = False
+    seed: int = 0
+
+
+@dataclass
+class DSPlacerResult:
+    """Everything DSPlacer produced, plus profiling for Fig. 8."""
+
+    placement: Placement
+    identification: IdentificationResult
+    n_datapath_dsps: int
+    dsp_graph_nodes: int
+    dsp_graph_edges: int
+    mcf_iterations_used: list[int] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+class DSPlacer:
+    """Datapath-driven DSP placement framework for CNN accelerators."""
+
+    def __init__(
+        self,
+        device: Device,
+        config: DSPlacerConfig | None = None,
+        identifier: DatapathIdentifier | None = None,
+    ) -> None:
+        self.device = device
+        self.config = config or DSPlacerConfig()
+        self.identifier = identifier or DatapathIdentifier(
+            method=self.config.identification, seed=self.config.seed
+        )
+        if self.identifier.method in ("gcn", "svm") and identifier is None:
+            raise ValueError(
+                f"{self.identifier.method!r} identification needs a trained "
+                "DatapathIdentifier passed in (see repro.eval.experiments for "
+                "the leave-one-out training protocol)"
+            )
+
+    def _base_placer(self):
+        if self.config.base_placer == "vivado":
+            return VivadoLikePlacer(seed=self.config.seed)
+        if self.config.base_placer == "amf":
+            return AMFLikePlacer(seed=self.config.seed)
+        raise ValueError(f"unknown base placer {self.config.base_placer!r}")
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        netlist: Netlist,
+        initial_placement: Placement | None = None,
+        sample: GraphSample | None = None,
+    ) -> DSPlacerResult:
+        """Run the full Fig. 2 flow on a netlist.
+
+        Args:
+            initial_placement: Skip the prototype stage and start from this
+                legal placement.
+            sample: Pre-computed features/graph for the identifier (avoids
+                recomputing features when the caller already has them).
+
+        Returns:
+            :class:`DSPlacerResult` with a fully legal placement.
+        """
+        cfg = self.config
+        phases: dict[str, float] = {}
+
+        # 1. prototype placement
+        t0 = time.perf_counter()
+        if initial_placement is None:
+            placement = self._base_placer().place(netlist, self.device)
+        else:
+            placement = initial_placement.copy()
+        phases["prototype_placement"] = time.perf_counter() - t0
+
+        # 2. datapath DSP extraction
+        t0 = time.perf_counter()
+        ident = self.identifier.predict(netlist, sample=sample)
+        # cascade macros are placement-atomic: harmonize the classifier's
+        # per-DSP labels over each chain (majority vote) so a chain is
+        # either fully datapath or fully control
+        flags = dict(ident.flags)
+        for macro in netlist.macros:
+            votes = sum(1 for i in macro.dsps if flags.get(i, False))
+            verdict = 2 * votes >= len(macro.dsps)
+            for i in macro.dsps:
+                flags[i] = verdict
+        paths = iddfs_dsp_paths(netlist, max_depth=cfg.iddfs_max_depth)
+        dsp_graph = build_dsp_graph(netlist, paths)
+        datapath_graph = prune_control_dsps(dsp_graph, flags)
+        datapath_dsps = sorted(datapath_graph.nodes)
+        phases["datapath_extraction"] = time.perf_counter() - t0
+
+        result = DSPlacerResult(
+            placement=placement,
+            identification=ident,
+            n_datapath_dsps=len(datapath_dsps),
+            dsp_graph_nodes=dsp_graph.number_of_nodes(),
+            dsp_graph_edges=dsp_graph.number_of_edges(),
+        )
+        if not datapath_dsps:
+            phases["dsp_placement"] = 0.0
+            phases["other_placement"] = 0.0
+            result.phase_seconds = phases
+            return result
+
+        engine = cfg.assignment_engine
+        if engine == "auto":
+            engine = "mcf" if len(datapath_dsps) <= 64 else "lsa"
+        assigner = DatapathDSPAssigner(
+            netlist,
+            self.device,
+            datapath_graph,
+            datapath_dsps,
+            AssignmentConfig(
+                lam=cfg.lam,
+                eta=cfg.eta,
+                candidate_k=cfg.candidate_k,
+                max_iterations=cfg.mcf_iterations,
+                engine=engine,
+                congestion_weight=cfg.congestion_weight,
+                seed=cfg.seed,
+            ),
+        )
+        legalizer = CascadeLegalizer(netlist, self.device)
+        site_xy = self.device.site_xy("DSP")
+        t_dsp = 0.0
+        t_other = 0.0
+
+        # 3. incremental datapath-driven placement (Fig. 6)
+        sta = None
+        if cfg.timing_driven and netlist.target_freq_mhz:
+            from repro.timing.sta import StaticTimingAnalyzer
+
+            sta = StaticTimingAnalyzer(netlist)
+        for _ in range(cfg.outer_iterations):
+            t0 = time.perf_counter()
+            if cfg.congestion_weight > 0:
+                from repro.router.global_router import GlobalRouter
+
+                assigner.set_congestion_map(GlobalRouter().route(placement).congestion)
+            if sta is not None:
+                period = 1e3 / netlist.target_freq_mhz
+                report = sta.analyze(placement, period_ns=period, with_slacks=True)
+                assigner.set_criticality(report.cell_output_slack, period)
+            assignment, iters = assigner.solve(placement)
+            result.mcf_iterations_used.append(iters)
+            desired = {cell: tuple(site_xy[sid]) for cell, sid in assignment.items()}
+            # control DSPs join legalization at their current coordinates so
+            # the shared columns stay overlap-free
+            for i in netlist.dsp_indices():
+                if i not in desired:
+                    desired[i] = (float(placement.xy[i, 0]), float(placement.xy[i, 1]))
+            legal = legalizer.legalize(desired)
+            for cell, sid in legal.site_of.items():
+                placement.assign_site(cell, sid)
+            t_dsp += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            placement = replace_other_components(
+                netlist, self.device, placement, datapath_dsps, seed=cfg.seed
+            )
+            t_other += time.perf_counter() - t0
+
+        phases["dsp_placement"] = t_dsp
+        phases["other_placement"] = t_other
+        result.placement = placement
+        result.phase_seconds = phases
+        return result

@@ -1,0 +1,23 @@
+"""Datapath DSP extraction (paper Section III)."""
+
+from repro.core.extraction.features import FeatureConfig, extract_node_features, FEATURE_NAMES
+from repro.core.extraction.iddfs import iddfs_dsp_paths, DSPPath
+from repro.core.extraction.dsp_graph import build_dsp_graph, prune_control_dsps
+from repro.core.extraction.identification import (
+    DatapathIdentifier,
+    IdentificationResult,
+    build_graph_sample,
+)
+
+__all__ = [
+    "FeatureConfig",
+    "extract_node_features",
+    "FEATURE_NAMES",
+    "iddfs_dsp_paths",
+    "DSPPath",
+    "build_dsp_graph",
+    "prune_control_dsps",
+    "DatapathIdentifier",
+    "IdentificationResult",
+    "build_graph_sample",
+]

@@ -1,0 +1,88 @@
+"""Iterative deepening DFS between DSP nodes (paper Section III-B).
+
+The paper adopts IDDFS for DSP-graph construction because plain DFS misses
+shortest paths and BFS's frontier is too large for netlist-scale graphs;
+IDDFS combines DFS space with BFS shortest-path guarantees. Traversal
+follows signal direction (driver → sink), stops when it reaches another DSP
+(DSP-graph edges are DSP-to-DSP datapaths with no DSP in between), skips
+very-high-fanout nets (clock/reset/enable broadcast, never datapath), and
+records the distance and the number of storage cells along each found path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class DSPPath:
+    """Shortest driver→sink path between two DSP cells."""
+
+    src: int
+    dst: int
+    dist: int  # edges along the netlist path
+    n_storage: int  # FF/BRAM/LUTRAM cells strictly inside the path
+
+
+def iddfs_dsp_paths(
+    netlist: Netlist,
+    max_depth: int = 6,
+    max_fanout: int = 16,
+    sources: list[int] | None = None,
+) -> list[DSPPath]:
+    """All shortest DSP→DSP paths up to ``max_depth`` netlist hops.
+
+    Args:
+        max_depth: Depth cutoff; datapath DSP-to-DSP connections (cascades,
+            adder trees) are short, control broadcast is not.
+        max_fanout: Nets wider than this are not traversed.
+        sources: Restrict path search to these source DSPs.
+
+    Returns:
+        One :class:`DSPPath` per (src, dst) pair found, shortest distance.
+    """
+    adj: list[list[int]] = [[] for _ in netlist.cells]
+    for net in netlist.nets:
+        if len(net.sinks) > max_fanout:
+            continue
+        for s in net.sinks:
+            adj[net.driver].append(s)
+
+    is_dsp = [c.ctype.is_dsp for c in netlist.cells]
+    is_storage = [c.ctype.is_storage for c in netlist.cells]
+    dsps = sources if sources is not None else netlist.dsp_indices()
+
+    out: list[DSPPath] = []
+    for src in dsps:
+        found: dict[int, tuple[int, int]] = {}  # dst -> (dist, n_storage)
+        for limit in range(1, max_depth + 1):
+            targets_before = len(found)
+            # depth-limited DFS with best-depth pruning: a node reached at
+            # depth d is only re-expanded if reached cheaper later
+            best_depth: dict[int, int] = {src: 0}
+            stack: list[tuple[int, int, int]] = [(src, 0, 0)]  # node, depth, storage
+            while stack:
+                node, depth, storage = stack.pop()
+                if depth >= limit:
+                    continue
+                for nxt in adj[node]:
+                    nd = depth + 1
+                    if is_dsp[nxt]:
+                        if nxt != src and nxt not in found:
+                            found[nxt] = (nd, storage)
+                        continue  # do not pass through DSPs
+                    prev = best_depth.get(nxt)
+                    if prev is not None and prev <= nd:
+                        continue
+                    best_depth[nxt] = nd
+                    stack.append((nxt, nd, storage + (1 if is_storage[nxt] else 0)))
+            if len(found) == targets_before and limit > 1:
+                # nothing new at this depth; deeper search can still find
+                # more, but iterative deepening re-explores everything, so
+                # keep going only while the frontier grows
+                continue
+        for dst, (dist, storage) in found.items():
+            out.append(DSPPath(src=src, dst=dst, dist=dist, n_storage=storage))
+    return out

@@ -1,0 +1,13 @@
+"""Datapath-driven DSP placement (paper Section IV)."""
+
+from repro.core.placement.assignment import AssignmentConfig, DatapathDSPAssigner
+from repro.core.placement.legalization import CascadeLegalizer, LegalizationResult
+from repro.core.placement.incremental import replace_other_components
+
+__all__ = [
+    "AssignmentConfig",
+    "DatapathDSPAssigner",
+    "CascadeLegalizer",
+    "LegalizationResult",
+    "replace_other_components",
+]

@@ -1,0 +1,324 @@
+"""Linearized min-cost-flow DSP assignment (paper Section IV-A).
+
+The 0-1 quadratic program (eq. 7/8) is linearized around the previous
+iterate (eq. 9, TILA-style), giving each (DSP i, site j) pair a closed-form
+cost:
+
+- **wirelength**: ``Σ_p w_ip · ‖site_j − pos'(p)‖²`` over i's netlist
+  neighbours p at their previous positions — expanded to
+  ``W_i·|s_j|² − 2·s_j·m_i + q_i`` so the whole N×M cost matrix is three
+  rank-1 numpy operations;
+- **datapath angle** (eq. 6): ``λ·(outdeg_D(i) − indeg_D(i))·cos θ_j`` with
+  ``cos θ_j = x_j/√(x_j²+y_j²)`` measured from the PS corner — DSP-graph
+  predecessors prefer small cos (above the PS), successors large cos
+  (right of the PS);
+- **cascade** (eq. 5 relaxed with η): a reward for landing next to the
+  previous position of a cascade partner.
+
+Each iterate is an assignment problem under constraints (4); its constraint
+matrix is totally unimodular, so the min-cost-flow solution is integral.
+The ``engine`` knob selects this repo's successive-shortest-paths MCF over
+K-nearest candidate arcs (paper-faithful) or a dense Hungarian solve
+(`scipy`) — both exact, cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.optimize
+
+from repro.fpga.device import Device
+from repro.netlist.graph import connectivity_matrix
+from repro.netlist.netlist import Netlist
+from repro.placers.placement import Placement
+from repro.solvers.mcf import min_cost_assignment
+
+
+@dataclass(frozen=True)
+class AssignmentConfig:
+    """Knobs of the linearized assignment loop.
+
+    ``lam`` is the paper's λ (set to 100 in Section V-C); ``eta`` the
+    cascade penalty η; ``max_iterations`` the internal MCF iteration count
+    (the paper uses 50; the loop stops early once the assignment is stable).
+    """
+
+    lam: float = 100.0
+    eta: float = 25.0
+    wl_scale: float = 1e-4  # µm² → cost units (100 µm ≡ 1)
+    candidate_k: int = 48
+    max_iterations: int = 50
+    #: stop when the true eq. (7) objective has not improved for this many
+    #: consecutive linearization iterates
+    patience: int = 3
+    max_neighbors: int = 32
+    #: per-iterate assignment solver: "mcf" (this repo's successive
+    #: shortest paths — the paper's formulation), "lsa" (scipy Hungarian),
+    #: or "auction" (this repo's ε-auction; exact to auction_tol)
+    engine: str = "mcf"
+    auction_tol: float = 1e-6
+    #: extension beyond the paper: penalize sites in congested routing
+    #: bins (the paper observes its compact layouts raise congestion to a
+    #: "medium" level; this knob trades compactness against it). 0 = off.
+    congestion_weight: float = 0.0
+    seed: int = 0
+
+
+class DatapathDSPAssigner:
+    """Iterative linearized MCF assignment of datapath DSPs to device sites."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        device: Device,
+        dsp_graph: nx.DiGraph,
+        datapath_dsps: list[int],
+        config: AssignmentConfig | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.device = device
+        self.config = config or AssignmentConfig()
+        self.dsps = list(datapath_dsps)
+        if not self.dsps:
+            raise ValueError("no datapath DSPs to assign")
+
+        self.site_xy = device.site_xy("DSP")
+        m = self.site_xy.shape[0]
+        if len(self.dsps) > m:
+            raise ValueError(f"{len(self.dsps)} datapath DSPs exceed {m} device sites")
+        self._site_sq = (self.site_xy**2).sum(axis=1)
+        norms = np.sqrt(np.maximum(self._site_sq, 1e-12))
+        self._site_cos = self.site_xy[:, 0] / norms
+        self._site_col = device.site_col("DSP")
+        self._site_congestion: np.ndarray | None = None
+
+        # netlist neighbourhoods (top-weighted, bounded)
+        w = connectivity_matrix(netlist)
+        self._base_neighbors: list[tuple[np.ndarray, np.ndarray]] = []
+        for i in self.dsps:
+            row = w.getrow(i)
+            idx = row.indices
+            val = row.data
+            if idx.size > self.config.max_neighbors:
+                top = np.argpartition(val, -self.config.max_neighbors)[
+                    -self.config.max_neighbors :
+                ]
+                idx, val = idx[top], val[top]
+            self._base_neighbors.append((idx, val))
+        self._neighbors = list(self._base_neighbors)
+
+        # datapath-angle coefficient per DSP: λ·(outdeg − indeg) in E_D
+        pos_in_dsps = {d: k for k, d in enumerate(self.dsps)}
+        self._angle_coef = np.zeros(len(self.dsps))
+        for u, v in dsp_graph.edges:
+            if u in pos_in_dsps:
+                self._angle_coef[pos_in_dsps[u]] += 1.0
+            if v in pos_in_dsps:
+                self._angle_coef[pos_in_dsps[v]] -= 1.0
+        self._angle_coef *= self.config.lam
+
+        # cascade partners among the assigned DSPs. The linearized *cost*
+        # only pulls the successor toward (site of pred)+1 — a symmetric
+        # pull makes the pair chase each other's previous site and cycle;
+        # one-sided anchoring converges. The true objective still scores
+        # every pair.
+        self._partners: list[list[tuple[int, int]]] = [[] for _ in self.dsps]
+        self._pairs: list[tuple[int, int]] = []  # (pred_k, succ_k)
+        for pred, succ in netlist.cascade_pairs():
+            if pred in pos_in_dsps and succ in pos_in_dsps:
+                kp, ks = pos_in_dsps[pred], pos_in_dsps[succ]
+                self._partners[ks].append((kp, +1))
+                self._pairs.append((kp, ks))
+
+    # ------------------------------------------------------------------
+    def set_criticality(self, cell_output_slack: np.ndarray, period_ns: float, boost: float = 2.0) -> None:
+        """Timing-driven extension: upweight attraction to critical neighbours.
+
+        ``cell_output_slack`` comes from
+        :meth:`repro.timing.StaticTimingAnalyzer.analyze` with
+        ``with_slacks=True``; a neighbour with slack s gets its connection
+        weight scaled by ``1 + boost·clip(1 − s/period, 0, 1)``, so DSPs are
+        pulled harder toward the cells on failing paths.
+        """
+        scaled: list[tuple[np.ndarray, np.ndarray]] = []
+        for idx, val in self._base_neighbors:
+            s = cell_output_slack[idx]
+            crit = np.clip(1.0 - s / period_ns, 0.0, 1.0)
+            crit = np.where(np.isnan(crit), 0.0, crit)
+            scaled.append((idx, val * (1.0 + boost * crit)))
+        self._neighbors = scaled
+
+    def clear_criticality(self) -> None:
+        self._neighbors = list(self._base_neighbors)
+
+    def set_congestion_map(self, congestion: np.ndarray) -> None:
+        """Sample a routing-congestion bin map at every DSP site.
+
+        ``congestion`` is the (gx, gy) utilization grid from a
+        :class:`~repro.router.RoutingResult`; sites falling in overloaded
+        bins are surcharged by ``congestion_weight × max(0, util − 1)``.
+        """
+        gx, gy = congestion.shape
+        bx = np.clip(
+            (self.site_xy[:, 0] / max(self.device.width, 1e-9) * gx).astype(int), 0, gx - 1
+        )
+        by = np.clip(
+            (self.site_xy[:, 1] / max(self.device.height, 1e-9) * gy).astype(int), 0, gy - 1
+        )
+        self._site_congestion = np.maximum(0.0, congestion[bx, by] - 1.0)
+
+    def cost_matrix(
+        self, placement: Placement, prev_sites: np.ndarray | None
+    ) -> np.ndarray:
+        """Linearized (N, M) cost of placing DSP k on site j (eq. 9)."""
+        cfg = self.config
+        n = len(self.dsps)
+        m = self.site_xy.shape[0]
+        cost = np.empty((n, m))
+        for k in range(n):
+            idx, val = self._neighbors[k]
+            if idx.size:
+                pts = placement.xy[idx]
+                w_sum = float(val.sum())
+                mvec = (val[:, None] * pts).sum(axis=0)
+                q = float((val * (pts**2).sum(axis=1)).sum())
+                wl = w_sum * self._site_sq - 2.0 * (self.site_xy @ mvec) + q
+            else:
+                wl = np.zeros(m)
+            cost[k] = cfg.wl_scale * wl
+        cost += self._angle_coef[:, None] * self._site_cos[None, :]
+        if cfg.congestion_weight > 0 and self._site_congestion is not None:
+            cost += cfg.congestion_weight * self._site_congestion[None, :]
+        if prev_sites is not None and cfg.eta > 0:
+            for k in range(n):
+                for partner, offset in self._partners[k]:
+                    ps = prev_sites[partner]
+                    if ps < 0:
+                        continue
+                    target = ps + offset
+                    cost[k] += cfg.eta
+                    if 0 <= target < m and self._site_col[target] == self._site_col[ps]:
+                        cost[k, target] -= cfg.eta
+        return cost
+
+    def _solve_once(self, cost: np.ndarray, prev_sites: np.ndarray | None) -> np.ndarray:
+        cfg = self.config
+        n, m = cost.shape
+        if cfg.engine == "lsa":
+            _, cols = scipy.optimize.linear_sum_assignment(cost)
+            return np.asarray(cols, dtype=np.int64)
+        if cfg.engine == "auction":
+            from repro.solvers.auction import auction_assignment
+
+            # relative ε: n·ε suboptimality ≈ auction_tol × cost spread.
+            # (identical PE chains produce near-tied cost rows; a much
+            # tighter ε degenerates into eps-increment price wars)
+            spread = float(cost.max() - cost.min())
+            eps = max(cfg.auction_tol, 1e-4) * spread / max(n, 1)
+            cols, _total = auction_assignment(cost, eps_min=eps if spread > 0 else None)
+            return cols
+        # MCF over K-nearest candidate arcs (+ previous site for feasibility)
+        k = min(cfg.candidate_k, m)
+        while True:
+            arcs: list[tuple[int, int, float]] = []
+            for i in range(n):
+                cand = np.argpartition(cost[i], k - 1)[:k]
+                for j in cand:
+                    arcs.append((i, int(j), float(cost[i, j])))
+                if prev_sites is not None and prev_sites[i] >= 0:
+                    arcs.append((i, int(prev_sites[i]), float(cost[i, prev_sites[i]])))
+            try:
+                assignment = min_cost_assignment(n, m, arcs)
+                break
+            except ValueError:
+                if k >= m:
+                    raise
+                k = min(m, k * 2)  # widen the candidate windows and retry
+        out = np.empty(n, dtype=np.int64)
+        for i, j in assignment.items():
+            out[i] = j
+        return out
+
+    # ------------------------------------------------------------------
+    def objective(self, sites: np.ndarray, placement: Placement) -> float:
+        """True eq. (7) objective of an assignment (not the linearization).
+
+        Wirelength is evaluated with every datapath DSP moved to its
+        assigned site (other cells at their placement coordinates); the
+        angle term is λ·Σ(cos θ_pred − cos θ_succ) over DSP-graph edges and
+        the cascade term charges η per non-adjacent cascade pair.
+        """
+        cfg = self.config
+        pos = placement.xy
+        new_xy = {cell: self.site_xy[sites[k]] for k, cell in enumerate(self.dsps)}
+
+        def _pos(cell: int) -> np.ndarray:
+            return new_xy.get(cell, pos[cell])
+
+        in_dsps = {d: k for k, d in enumerate(self.dsps)}
+        total = 0.0
+        for k, cell in enumerate(self.dsps):
+            idx, val = self._neighbors[k]
+            p0 = new_xy[cell]
+            for j, w in zip(idx, val):
+                d = p0 - _pos(int(j))
+                term = w * float(d @ d)
+                # dsp-dsp pairs appear from both endpoints: halve
+                total += term / 2.0 if int(j) in in_dsps else term
+        total *= cfg.wl_scale
+        cos = self._site_cos
+        for k in range(len(self.dsps)):
+            total += self._angle_coef[k] * cos[sites[k]]
+        if cfg.eta > 0:
+            for kp, ks in self._pairs:
+                adjacent = (
+                    sites[ks] == sites[kp] + 1
+                    and self._site_col[sites[ks]] == self._site_col[sites[kp]]
+                )
+                if not adjacent:
+                    total += cfg.eta
+        return total
+
+    def solve(self, placement: Placement) -> tuple[dict[int, int], int]:
+        """Run the linearization loop from the current placement.
+
+        Returns ``({dsp_cell_index: dsp_site_id}, iterations_used)``. The
+        placement's coordinates are updated to the assigned sites (callers
+        still must run cascade legalization — the η term is soft).
+        """
+        cfg = self.config
+        place = placement
+        prev_sites: np.ndarray | None = None
+        best_sites: np.ndarray | None = None
+        best_cost = np.inf
+        seen: set[bytes] = set()
+        iters = 0
+        stale = 0
+        for iters in range(1, cfg.max_iterations + 1):
+            cost = self.cost_matrix(place, prev_sites)
+            sites = self._solve_once(cost, prev_sites)
+            true_obj = self.objective(sites, placement)
+            if true_obj < best_cost - 1e-9:
+                best_cost = true_obj
+                best_sites = sites
+                stale = 0
+            else:
+                stale += 1
+            key = sites.tobytes()
+            if (
+                (prev_sites is not None and np.array_equal(sites, prev_sites))
+                or key in seen
+                or stale >= cfg.patience
+            ):
+                break  # converged, cycled, or stopped improving
+            seen.add(key)
+            prev_sites = sites
+            for k, cell in enumerate(self.dsps):
+                place.xy[cell] = self.site_xy[sites[k]]
+        for k, cell in enumerate(self.dsps):
+            place.xy[cell] = self.site_xy[best_sites[k]]
+        result = {cell: int(best_sites[k]) for k, cell in enumerate(self.dsps)}
+        return result, iters

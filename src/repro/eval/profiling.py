@@ -1,0 +1,30 @@
+"""Runtime profiling (paper Fig. 8): per-phase breakdown of a DSPlacer run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Seconds and percentages per flow phase."""
+
+    benchmark: str
+    seconds: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def percentages(self) -> dict[str, float]:
+        total = max(self.total, 1e-12)
+        return {k: 100.0 * v / total for k, v in self.seconds.items()}
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(phase, seconds, pct) rows sorted by share, for table rendering."""
+        pct = self.percentages
+        return sorted(
+            ((k, v, pct[k]) for k, v in self.seconds.items()),
+            key=lambda r: -r[1],
+        )

@@ -1,0 +1,22 @@
+"""UltraScale+-style FPGA device substrate.
+
+Models what DSPlacer consumes from the target device (paper Fig. 1(a)):
+a column-wise heterogeneous fabric (CLB / DSP / BRAM columns), site
+coordinates in µm, clock regions, and the fixed processing system (PS)
+block in the bottom-left corner with its PS→PL (top edge) and PL→PS
+(right edge) data-bus attachment points.
+"""
+
+from repro.fpga.device import Device, PSBlock, Site, SiteColumn
+from repro.fpga.builders import build_device, scaled_zcu104, small_device, zcu104
+
+__all__ = [
+    "Device",
+    "PSBlock",
+    "Site",
+    "SiteColumn",
+    "build_device",
+    "scaled_zcu104",
+    "small_device",
+    "zcu104",
+]

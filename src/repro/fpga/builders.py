@@ -1,0 +1,150 @@
+"""Device builders: the ZCU104 target and small test fabrics.
+
+Geometry is parameterized; :func:`zcu104` instantiates an
+XCZU7EV-like fabric with the real resource totals that matter to the paper
+(1728 DSP48E2 sites, 312 BRAM36, 230k LUTs) laid out in columns. Exact die
+dimensions are not public; the model preserves what DSPlacer consumes —
+column structure, relative pitches (a DSP48E2 spans 2.5 CLB rows, a BRAM36
+spans 5), and the PS block in the bottom-left corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.device import Device, PSBlock, SiteColumn
+
+#: Physical pitches (µm). Chosen so full-scale HPWL lands in the same
+#: order of magnitude as the paper's Table II (~1e6–1e7 µm).
+COLUMN_PITCH = 60.0
+CLB_ROW_PITCH = 15.0
+DSP_ROW_PITCH = CLB_ROW_PITCH * 2.5
+BRAM_ROW_PITCH = CLB_ROW_PITCH * 5.0
+
+
+def build_device(
+    name: str,
+    n_clb_cols: int,
+    n_dsp_cols: int,
+    n_bram_cols: int,
+    n_clb_rows: int,
+    *,
+    with_ps: bool = True,
+    clb_capacity: int = 16,
+    clock_region_shape: tuple[int, int] = (2, 4),
+) -> Device:
+    """Build a column-interleaved fabric.
+
+    Columns are interleaved left-to-right in a repeating CLB-heavy pattern
+    (roughly one DSP or BRAM column per handful of CLB columns, as on real
+    UltraScale+ parts). Sites falling inside the PS block are removed.
+    """
+    height = n_clb_rows * CLB_ROW_PITCH
+    n_total_cols = n_clb_cols + n_dsp_cols + n_bram_cols
+    width = n_total_cols * COLUMN_PITCH
+
+    ps = None
+    if with_ps:
+        # PS occupies the bottom-left corner: ~1/6 of the width, ~1/5 height.
+        ps = PSBlock(0.0, 0.0, width / 6.0, height / 5.0)
+
+    # Interleave: spread DSP and BRAM columns evenly among CLB columns.
+    kinds: list[str] = ["CLB"] * n_total_cols
+    if n_dsp_cols:
+        for i in range(n_dsp_cols):
+            pos = int((i + 0.5) * n_total_cols / n_dsp_cols)
+            kinds[min(pos, n_total_cols - 1)] = "DSP"
+    if n_bram_cols:
+        for i in range(n_bram_cols):
+            pos = int((i + 0.25) * n_total_cols / n_bram_cols)
+            # shift right until a CLB slot is free
+            while pos < n_total_cols and kinds[pos] != "CLB":
+                pos += 1
+            kinds[min(pos, n_total_cols - 1)] = "BRAM"
+
+    pitches = {"CLB": CLB_ROW_PITCH, "DSP": DSP_ROW_PITCH, "BRAM": BRAM_ROW_PITCH}
+    columns: list[SiteColumn] = []
+    for c, kind in enumerate(kinds):
+        x = (c + 0.5) * COLUMN_PITCH
+        pitch = pitches[kind]
+        n_rows = int(height / pitch)
+        ys = (np.arange(n_rows) + 0.5) * pitch
+        if ps is not None and x < ps.x1:
+            ys = ys[ys >= ps.y1]
+        if ys.size:
+            columns.append(SiteColumn(kind=kind, col=0, x=x, ys=ys))
+
+    device = Device(
+        name,
+        width,
+        height,
+        columns,
+        ps=ps,
+        clb_capacity=clb_capacity,
+        clock_region_shape=clock_region_shape,
+    )
+    device.validate()
+    return device
+
+
+def zcu104() -> Device:
+    """An XCZU7EV-like fabric (the paper's target board).
+
+    12 DSP columns × 144 rows — the silicon's 1728-site DSP48E2 grid — of
+    which 1670 remain usable after the PS corner clips the leftmost
+    columns; 4 BRAM columns (274 usable sites of a 288-site grid; silicon
+    has 312 BRAM36); 80 CLB columns × 360 rows. DSP utilization (Table I
+    "DSP%") is reported against the usable count.
+    """
+    return build_device(
+        "zcu104",
+        n_clb_cols=80,
+        n_dsp_cols=12,
+        n_bram_cols=4,
+        n_clb_rows=360,
+        with_ps=True,
+        clock_region_shape=(3, 6),
+    )
+
+
+def small_device(
+    n_dsp_cols: int = 3,
+    dsp_rows: int = 12,
+    *,
+    with_ps: bool = True,
+    name: str = "smalldev",
+) -> Device:
+    """A small fabric for tests and examples (tens of DSP sites)."""
+    n_clb_rows = int(dsp_rows * DSP_ROW_PITCH / CLB_ROW_PITCH)
+    return build_device(
+        name,
+        n_clb_cols=max(4, 3 * n_dsp_cols),
+        n_dsp_cols=n_dsp_cols,
+        n_bram_cols=2,
+        n_clb_rows=n_clb_rows,
+        with_ps=with_ps,
+        clock_region_shape=(1, 2),
+    )
+
+
+def scaled_zcu104(scale: float) -> Device:
+    """A geometrically shrunken ZCU104 for reduced-scale experiments.
+
+    Column and row counts shrink by ``sqrt(scale)`` each so site capacity
+    shrinks roughly by ``scale`` while the aspect ratio (and hence the
+    PS-corner geometry) is preserved.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if scale == 1.0:
+        return zcu104()
+    f = float(np.sqrt(scale))
+    return build_device(
+        f"zcu104@{scale:g}",
+        n_clb_cols=max(8, int(round(80 * f))),
+        n_dsp_cols=max(2, int(round(12 * f))),
+        n_bram_cols=max(1, int(round(4 * f))),
+        n_clb_rows=max(40, int(round(360 * f / 4.0) * 4)),
+        with_ps=True,
+        clock_region_shape=(2, 4),
+    )

@@ -1,0 +1,208 @@
+"""Device model: columns of sites, PS block, and site queries.
+
+Coordinates are in µm with the origin at the bottom-left of the fabric.
+DSP site lists follow the paper's convention (Section IV-A): sorted in
+ascending coordinate order such that vertically adjacent sites of the same
+column have consecutive indices — the cascade constraint (eq. 5) is stated
+directly on those indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SITE_KINDS = ("CLB", "DSP", "BRAM")
+
+
+@dataclass(frozen=True)
+class Site:
+    """One placement site on the fabric."""
+
+    sid: int  # dense id *within its kind*, column-major ascending
+    kind: str
+    col: int  # column ordinal within its kind (0-based, left to right)
+    row: int  # row ordinal within the column (0-based, bottom to top)
+    x: float
+    y: float
+
+
+@dataclass
+class SiteColumn:
+    """A vertical run of same-kind sites at a fixed x."""
+
+    kind: str
+    col: int
+    x: float
+    ys: np.ndarray  # ascending site centre y's
+
+    def __post_init__(self) -> None:
+        self.ys = np.asarray(self.ys, dtype=np.float64)
+        if self.ys.size and np.any(np.diff(self.ys) <= 0):
+            raise ValueError(f"{self.kind} column {self.col}: ys not strictly increasing")
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.ys.size)
+
+
+@dataclass(frozen=True)
+class PSBlock:
+    """The fixed processing system in the bottom-left corner.
+
+    Per the paper's Fig. 5(a): data buses from PS to PL enter *above* the PS
+    block, and buses from PL back to PS exit on its *right* edge. Those two
+    attachment points anchor the soft datapath-angle constraint (eq. 6).
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    @property
+    def ps_to_pl_xy(self) -> tuple[float, float]:
+        """Attachment point of PS→PL buses (top edge, mid-x)."""
+        return ((self.x0 + self.x1) / 2.0, self.y1)
+
+    @property
+    def pl_to_ps_xy(self) -> tuple[float, float]:
+        """Attachment point of PL→PS buses (right edge, mid-y)."""
+        return (self.x1, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+
+class Device:
+    """A column-heterogeneous FPGA fabric.
+
+    Attributes:
+        name: Device name (e.g. ``"zcu104"``).
+        width, height: Fabric extent in µm.
+        columns: All site columns, every kind.
+        ps: The PS block, or ``None`` for PL-only parts.
+        clb_capacity: How many CLB-kind cells (LUT/FF/CARRY/LUTRAM) one CLB
+            site accommodates during legalization.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width: float,
+        height: float,
+        columns: list[SiteColumn],
+        ps: PSBlock | None = None,
+        clb_capacity: int = 16,
+        clock_region_shape: tuple[int, int] = (1, 1),
+    ) -> None:
+        self.name = name
+        self.width = float(width)
+        self.height = float(height)
+        self.columns = columns
+        self.ps = ps
+        self.clb_capacity = int(clb_capacity)
+        self.clock_region_shape = clock_region_shape
+
+        self._sites: dict[str, list[Site]] = {k: [] for k in SITE_KINDS}
+        self._xy: dict[str, np.ndarray] = {}
+        self._col_of: dict[str, np.ndarray] = {}
+        self._cols: dict[str, list[SiteColumn]] = {k: [] for k in SITE_KINDS}
+        self._col_site_ids: dict[str, list[list[int]]] = {k: [] for k in SITE_KINDS}
+        self._build_indices()
+
+    # ------------------------------------------------------------------
+    def _build_indices(self) -> None:
+        for kind in SITE_KINDS:
+            cols = sorted(
+                (c for c in self.columns if c.kind == kind), key=lambda c: c.x
+            )
+            self._cols[kind] = cols
+            sid = 0
+            for col_ord, col in enumerate(cols):
+                col.col = col_ord
+                ids: list[int] = []
+                for row, y in enumerate(col.ys):
+                    self._sites[kind].append(
+                        Site(sid=sid, kind=kind, col=col_ord, row=row, x=col.x, y=float(y))
+                    )
+                    ids.append(sid)
+                    sid += 1
+                self._col_site_ids[kind].append(ids)
+            sites = self._sites[kind]
+            self._xy[kind] = (
+                np.array([[s.x, s.y] for s in sites], dtype=np.float64)
+                if sites
+                else np.zeros((0, 2))
+            )
+            self._col_of[kind] = np.array([s.col for s in sites], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def sites(self, kind: str) -> list[Site]:
+        """All sites of a kind, column-major ascending (paper's ordering)."""
+        return self._sites[kind]
+
+    def site_xy(self, kind: str) -> np.ndarray:
+        """``(n_sites, 2)`` array of site centres, same order as :meth:`sites`."""
+        return self._xy[kind]
+
+    def site_col(self, kind: str) -> np.ndarray:
+        """Column ordinal of each site, same order as :meth:`sites`."""
+        return self._col_of[kind]
+
+    def n_sites(self, kind: str) -> int:
+        return len(self._sites[kind])
+
+    def kind_columns(self, kind: str) -> list[SiteColumn]:
+        return self._cols[kind]
+
+    def column_site_ids(self, kind: str, col: int) -> list[int]:
+        """Site ids of one column, bottom-to-top (consecutive by construction)."""
+        return self._col_site_ids[kind][col]
+
+    @property
+    def n_dsp(self) -> int:
+        return self.n_sites("DSP")
+
+    @property
+    def n_dsp_columns(self) -> int:
+        return len(self._cols["DSP"])
+
+    def nearest_sites(self, kind: str, x: float, y: float, k: int = 1) -> np.ndarray:
+        """Indices of the ``k`` sites of ``kind`` closest (Euclidean) to (x, y)."""
+        xy = self._xy[kind]
+        if xy.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        d2 = (xy[:, 0] - x) ** 2 + (xy[:, 1] - y) ** 2
+        k = min(k, xy.shape[0])
+        idx = np.argpartition(d2, k - 1)[:k]
+        return idx[np.argsort(d2[idx])]
+
+    def clock_region_of(self, x: float, y: float) -> tuple[int, int]:
+        """(col, row) of the clock region containing (x, y)."""
+        ncols, nrows = self.clock_region_shape
+        cx = min(int(x / self.width * ncols), ncols - 1) if self.width else 0
+        cy = min(int(y / self.height * nrows), nrows - 1) if self.height else 0
+        return (max(cx, 0), max(cy, 0))
+
+    def validate(self) -> None:
+        """Check device invariants; raise ``ValueError`` on violation."""
+        for kind in SITE_KINDS:
+            sites = self._sites[kind]
+            for a, b in zip(sites, sites[1:]):
+                if (a.x, a.y) >= (b.x, b.y):
+                    raise ValueError(f"{kind} sites not in ascending column-major order")
+            if self.ps is not None:
+                for s in sites:
+                    if self.ps.contains(s.x, s.y):
+                        raise ValueError(f"{kind} site {s.sid} overlaps the PS block")
+            total = sum(c.n_sites for c in self._cols[kind])
+            if total != len(sites):
+                raise ValueError(f"{kind} column capacities do not sum to site count")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {k: self.n_sites(k) for k in SITE_KINDS}
+        return f"Device({self.name!r}, {self.width:.0f}x{self.height:.0f}um, {counts})"

@@ -1,0 +1,58 @@
+"""Classification losses.
+
+The paper addresses datapath/control class imbalance with a weighted loss,
+"assigning higher penalties to minority class misclassifications based on
+class ratios" (Section III-A); :func:`class_weights_from_labels` implements
+exactly that inverse-frequency rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def class_weights_from_labels(labels: np.ndarray, n_classes: int = 2) -> np.ndarray:
+    """Inverse-frequency class weights, normalized to mean 1."""
+    counts = np.bincount(labels.astype(int), minlength=n_classes).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    w = counts.sum() / (n_classes * counts)
+    return w / w.mean()
+
+
+def weighted_cross_entropy(
+    probs: np.ndarray,
+    labels: np.ndarray,
+    class_weights: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Weighted CE over (optionally masked) rows of a softmax output.
+
+    Args:
+        probs: ``(n, k)`` softmax probabilities.
+        labels: ``(n,)`` integer labels.
+        class_weights: Per-class penalty; defaults to uniform.
+        mask: Boolean row mask — only labeled nodes (the DSPs) contribute.
+
+    Returns:
+        ``(loss, dlogits)`` where ``dlogits`` is the gradient w.r.t. the
+        pre-softmax logits (the usual fused softmax+CE backward).
+    """
+    n, k = probs.shape
+    labels = labels.astype(int)
+    if class_weights is None:
+        class_weights = np.ones(k)
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        raise ValueError("empty mask: nothing to train on")
+    w = class_weights[labels[idx]]
+    p = np.clip(probs[idx, labels[idx]], 1e-12, 1.0)
+    denom = w.sum()
+    loss = float((w * -np.log(p)).sum() / denom)
+
+    dlogits = np.zeros_like(probs)
+    grad_rows = probs[idx] * w[:, None]
+    grad_rows[np.arange(idx.size), labels[idx]] -= w
+    dlogits[idx] = grad_rows / denom
+    return loss, dlogits

@@ -1,0 +1,39 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(pred: np.ndarray, labels: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Fraction of (masked) predictions matching the labels."""
+    pred = np.asarray(pred)
+    labels = np.asarray(labels)
+    if mask is not None:
+        pred = pred[mask]
+        labels = labels[mask]
+    if pred.size == 0:
+        raise ValueError("no samples")
+    return float((pred == labels).mean())
+
+
+def confusion_matrix(pred: np.ndarray, labels: np.ndarray, n_classes: int = 2) -> np.ndarray:
+    """``cm[i, j]`` = count of true class i predicted as j."""
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(np.asarray(labels).astype(int), np.asarray(pred).astype(int)):
+        cm[t, p] += 1
+    return cm
+
+
+def f1_score(pred: np.ndarray, labels: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 for the given positive class (0 when degenerate)."""
+    pred = np.asarray(pred) == positive
+    labels = np.asarray(labels) == positive
+    tp = int((pred & labels).sum())
+    fp = int((pred & ~labels).sum())
+    fn = int((~pred & labels).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)

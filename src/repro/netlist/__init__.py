@@ -1,0 +1,37 @@
+"""Pre-implementation netlist substrate.
+
+Models the post-synthesis, pre-placement netlist the paper takes as input:
+heterogeneous cells (LUT, LUTRAM, FF, CARRY, DSP, BRAM, IO, PS), multi-pin
+nets, and DSP cascade macros (chains that must occupy consecutive sites in
+one device DSP column).
+"""
+
+from repro.netlist.cell import Cell, CellType
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist, NetlistStats
+from repro.netlist.macros import CascadeMacro
+from repro.netlist.graph import (
+    netlist_to_digraph,
+    netlist_to_graph,
+    connectivity_matrix,
+)
+from repro.netlist.io import netlist_to_json, netlist_from_json, save_netlist, load_netlist
+from repro.netlist.verilog import netlist_to_verilog, save_verilog
+
+__all__ = [
+    "Cell",
+    "CellType",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "CascadeMacro",
+    "netlist_to_digraph",
+    "netlist_to_graph",
+    "connectivity_matrix",
+    "netlist_to_json",
+    "netlist_from_json",
+    "save_netlist",
+    "load_netlist",
+    "netlist_to_verilog",
+    "save_verilog",
+]

@@ -1,0 +1,74 @@
+"""JSON (de)serialization for netlists.
+
+A small, explicit on-disk format so generated benchmarks can be cached and
+shared between the test suite, the examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.netlist.cell import CellType
+from repro.netlist.netlist import Netlist
+
+_FORMAT_VERSION = 1
+
+
+def netlist_to_json(netlist: Netlist) -> dict:
+    """Serialize to a plain-dict document."""
+    return {
+        "format": _FORMAT_VERSION,
+        "name": netlist.name,
+        "target_freq_mhz": netlist.target_freq_mhz,
+        "cells": [
+            {
+                "name": c.name,
+                "ctype": c.ctype.value,
+                "is_datapath": c.is_datapath,
+                "fixed_xy": list(c.fixed_xy) if c.fixed_xy else None,
+                "attrs": c.attrs,
+            }
+            for c in netlist.cells
+        ],
+        "nets": [
+            {
+                "name": n.name,
+                "driver": n.driver,
+                "sinks": list(n.sinks),
+                "weight": n.weight,
+            }
+            for n in netlist.nets
+        ],
+        "macros": [list(m.dsps) for m in netlist.macros],
+    }
+
+
+def netlist_from_json(doc: dict) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_json` output."""
+    if doc.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported netlist format {doc.get('format')!r}")
+    netlist = Netlist(doc["name"])
+    netlist.target_freq_mhz = doc.get("target_freq_mhz")
+    for cdoc in doc["cells"]:
+        netlist.add_cell(
+            cdoc["name"],
+            CellType(cdoc["ctype"]),
+            is_datapath=cdoc.get("is_datapath"),
+            fixed_xy=tuple(cdoc["fixed_xy"]) if cdoc.get("fixed_xy") else None,
+            attrs=cdoc.get("attrs") or {},
+        )
+    for ndoc in doc["nets"]:
+        netlist.add_net(ndoc["name"], ndoc["driver"], ndoc["sinks"], weight=ndoc.get("weight", 1.0))
+    for chain in doc["macros"]:
+        netlist.add_macro(chain)
+    netlist.validate()
+    return netlist
+
+
+def save_netlist(netlist: Netlist, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(netlist_to_json(netlist)))
+
+
+def load_netlist(path: str | Path) -> Netlist:
+    return netlist_from_json(json.loads(Path(path).read_text()))

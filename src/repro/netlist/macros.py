@@ -1,0 +1,38 @@
+"""DSP cascade macros.
+
+A cascade macro is a chain of DSP48 blocks wired through the dedicated
+PCOUT→PCIN (and ACOUT→ACIN) cascade ports. The device only provides those
+ports between *vertically adjacent* DSP sites of the same column, which is
+exactly the paper's cascade constraint (eq. 5): cascaded pairs must land on
+consecutive site indices within one column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CascadeMacro:
+    """An ordered DSP cascade chain.
+
+    ``dsps[0]`` is the head (bottom of the column once placed); each
+    ``(dsps[k], dsps[k+1])`` pair is a (predecessor, successor) element of
+    the cascade set C in the paper's eq. (5).
+    """
+
+    macro_id: int
+    dsps: tuple[int, ...]
+
+    def validate(self) -> None:
+        if len(self.dsps) < 2:
+            raise ValueError(f"macro {self.macro_id} has fewer than 2 DSPs")
+        if len(set(self.dsps)) != len(self.dsps):
+            raise ValueError(f"macro {self.macro_id} repeats a DSP")
+
+    def __len__(self) -> int:
+        return len(self.dsps)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """(predecessor, successor) pairs along the chain."""
+        return list(zip(self.dsps, self.dsps[1:]))

@@ -1,0 +1,45 @@
+"""Net model: a driver-to-sinks connection between cells."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Net:
+    """A signal net.
+
+    Attributes:
+        index: Dense integer id assigned by the owning netlist.
+        name: Unique net name.
+        driver: Cell index of the (single) driving cell.
+        sinks: Cell indices of the driven cells (possibly repeated pins are
+            collapsed; a cell appears at most once).
+        weight: Net criticality weight used by timing-driven placement.
+    """
+
+    index: int
+    name: str
+    driver: int
+    sinks: tuple[int, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name!r} has no sinks")
+        if self.driver in self.sinks:
+            raise ValueError(f"net {self.name!r} drives itself")
+        if len(set(self.sinks)) != len(self.sinks):
+            raise ValueError(f"net {self.name!r} has duplicate sinks")
+        if self.weight <= 0:
+            raise ValueError(f"net {self.name!r} has non-positive weight")
+
+    @property
+    def cells(self) -> tuple[int, ...]:
+        """All cell indices on the net (driver first)."""
+        return (self.driver, *self.sinks)
+
+    @property
+    def degree(self) -> int:
+        """Pin count of the net."""
+        return 1 + len(self.sinks)

@@ -1,0 +1,42 @@
+"""Baseline FPGA placers.
+
+The paper compares DSPlacer against AMD Xilinx Vivado 2020.2 and AMF-Placer
+2.0, and uses one of them to produce the prototype placement DSPlacer
+iterates on. Neither tool is available offline, so this package implements
+stand-ins that exercise the same role:
+
+- :class:`~repro.placers.vivado_like.VivadoLikePlacer` — a competent
+  wirelength/timing-weighted analytical placer (quadratic global placement,
+  density spreading, macro-aware legalization, swap refinement).
+- :class:`~repro.placers.amf_like.AMFLikePlacer` — a mixed-size analytical
+  placer modelling AMF-Placer 2.0's published behaviour on ZCU104: strong
+  macro packing, but no PS-corner awareness (it was tuned for the PS-less
+  VCU108), which displaces logic during legalization and disorders the
+  PS↔PL datapath.
+- :class:`~repro.placers.sa.SimulatedAnnealingPlacer` — the classic
+  small-design alternative (Section I's other placer family).
+"""
+
+from repro.placers.placement import Placement
+from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
+from repro.placers.legalizer import Legalizer
+from repro.placers.detailed import refine_sites
+from repro.placers.detailed_clb import refine_clb
+from repro.placers.packing import apply_packing, pack_lut_ff_pairs
+from repro.placers.vivado_like import VivadoLikePlacer
+from repro.placers.amf_like import AMFLikePlacer
+from repro.placers.sa import SimulatedAnnealingPlacer
+
+__all__ = [
+    "Placement",
+    "GlobalPlaceConfig",
+    "QuadraticGlobalPlacer",
+    "Legalizer",
+    "refine_sites",
+    "refine_clb",
+    "apply_packing",
+    "pack_lut_ff_pairs",
+    "VivadoLikePlacer",
+    "AMFLikePlacer",
+    "SimulatedAnnealingPlacer",
+]

@@ -1,0 +1,280 @@
+"""Resource-aware legalization: continuous coordinates → legal sites.
+
+Handles the three site families separately:
+
+- **DSP**: cascade macros first (each needs a run of consecutive free rows
+  in one column — the device only wires PCOUT→PCIN between vertical
+  neighbours), then single DSPs onto nearest free sites.
+- **BRAM**: nearest-free-site assignment.
+- **CLB** (LUT/LUTRAM/FF/CARRY): capacity-limited greedy onto CLB sites
+  (``device.clb_capacity`` cells per site), with outward spiral search on
+  overflow.
+
+Cells outside ``movable_mask`` keep their existing site assignments and
+block those sites — this is what lets DSPlacer freeze its datapath DSPs
+while the rest of the design is re-legalized around them (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.device import Device
+from repro.netlist.cell import CellType
+from repro.placers.placement import Placement
+
+
+class Legalizer:
+    """Legalizes placements on a fixed device."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def legalize(self, placement: Placement, movable_mask: np.ndarray | None = None) -> Placement:
+        """Legalize all placeable cells in-place; returns the placement."""
+        nl = placement.netlist
+        if movable_mask is None:
+            movable_mask = np.array([not c.is_fixed for c in nl.cells])
+        movable_mask = np.asarray(movable_mask, dtype=bool)
+        self.legalize_dsps(placement, movable_mask)
+        self.legalize_brams(placement, movable_mask)
+        self.legalize_clb(placement, movable_mask)
+        return placement
+
+    # ------------------------------------------------------------------
+    def legalize_dsps(self, placement: Placement, movable_mask: np.ndarray) -> None:
+        dev = self.device
+        nl = placement.netlist
+        n_sites = dev.n_sites("DSP")
+        occupied = np.zeros(n_sites, dtype=bool)
+        dsp_cells = [c for c in nl.cells if c.ctype.is_dsp]
+        for c in dsp_cells:
+            if movable_mask[c.index]:
+                placement.site[c.index] = -1
+            elif placement.site[c.index] >= 0:
+                occupied[placement.site[c.index]] = True
+        # everything without a site gets (re)placed, including locked cells
+        # that were never legalized
+        movable = [c for c in dsp_cells if placement.site[c.index] < 0]
+
+        # macros first, longest first (hardest to fit)
+        in_macro: set[int] = set()
+        todo_macros = []
+        for macro in sorted(nl.macros, key=lambda m: -len(m)):
+            in_macro.update(macro.dsps)
+            locked = [i for i in macro.dsps if placement.site[i] >= 0]
+            if locked:
+                if len(locked) != len(macro.dsps):
+                    raise ValueError(
+                        f"macro {macro.macro_id} is partially locked; cascade "
+                        "chains must be frozen or released as a whole"
+                    )
+                continue  # fully locked macro keeps its sites
+            todo_macros.append(macro)
+        try:
+            for macro in todo_macros:
+                self._place_macro(placement, occupied, macro.dsps)
+        except ValueError:
+            # high utilization + fragmentation: restart with dense packing
+            for macro in todo_macros:
+                for i in macro.dsps:
+                    if placement.site[i] >= 0:
+                        occupied[placement.site[i]] = False
+                        placement.site[i] = -1
+            self._dense_pack_macros(placement, occupied, todo_macros)
+        singles = [c.index for c in movable if c.index not in in_macro]
+        # bottom-up for deterministic packing
+        singles.sort(key=lambda i: (placement.xy[i, 1], placement.xy[i, 0]))
+        for idx in singles:
+            sid = self._nearest_free("DSP", placement.xy[idx], occupied)
+            occupied[sid] = True
+            placement.assign_site(idx, sid)
+
+    def _place_macro(self, placement: Placement, occupied: np.ndarray, chain: tuple[int, ...]) -> None:
+        dev = self.device
+        length = len(chain)
+        tx = float(placement.xy[list(chain), 0].mean())
+        tys = placement.xy[list(chain), 1]
+        cols = dev.kind_columns("DSP")
+        order = sorted(range(len(cols)), key=lambda c: abs(cols[c].x - tx))
+        best = None  # (cost, col, start_row)
+        for rank, c in enumerate(order):
+            col = cols[c]
+            ids = dev.column_site_ids("DSP", c)
+            if len(ids) < length:
+                continue
+            free = ~occupied[ids]
+            run = np.cumsum(free)
+            col_pen = abs(col.x - tx) * length
+            if best is not None and col_pen >= best[0] and rank > 2:
+                break  # columns are sorted by distance; no better fit possible
+            ys = col.ys
+            n_rows = len(ids)
+            pitch = float(ys[1] - ys[0]) if n_rows > 1 else 1.0
+            for start in range(n_rows - length + 1):
+                n_free = run[start + length - 1] - (run[start - 1] if start else 0)
+                if n_free != length:
+                    continue
+                cost = col_pen + float(np.abs(ys[start : start + length] - tys).sum())
+                # fragmentation guard: prefer windows flush against occupied
+                # rows / column ends so free space stays in long runs
+                below_open = start > 0 and not occupied[ids[start - 1]]
+                above_open = start + length < n_rows and not occupied[ids[start + length]]
+                if below_open and above_open:
+                    cost += pitch * length * 0.5
+                if best is None or cost < best[0]:
+                    best = (cost, c, start)
+        if best is None:
+            raise ValueError(f"no room for a {length}-long DSP cascade macro")
+        _, c, start = best
+        ids = dev.column_site_ids("DSP", c)
+        for k, cell_idx in enumerate(chain):
+            sid = ids[start + k]
+            occupied[sid] = True
+            placement.assign_site(cell_idx, sid)
+
+    def _dense_pack_macros(self, placement: Placement, occupied: np.ndarray, macros) -> None:
+        """Fallback for near-saturated devices: zero-fragmentation packing.
+
+        Macros are ordered by target x then y, columns are filled
+        bottom-to-top, skipping occupied rows; wasted space is at most the
+        residue of each column, so this succeeds whenever the per-column
+        capacities admit any packing of the chains.
+        """
+        dev = self.device
+        ordered = sorted(
+            macros,
+            key=lambda m: (
+                float(placement.xy[list(m.dsps), 0].mean()),
+                float(placement.xy[list(m.dsps), 1].mean()),
+            ),
+        )
+        n_cols = dev.n_dsp_columns
+        cursor = [0] * n_cols
+        col = 0
+        for macro in ordered:
+            length = len(macro.dsps)
+            placed = False
+            for _ in range(n_cols):
+                ids = dev.column_site_ids("DSP", col)
+                start = cursor[col]
+                while start + length <= len(ids):
+                    window = ids[start : start + length]
+                    if not occupied[window].any():
+                        for k, cell_idx in enumerate(macro.dsps):
+                            occupied[window[k]] = True
+                            placement.assign_site(cell_idx, window[k])
+                        cursor[col] = start + length
+                        placed = True
+                        break
+                    start += 1
+                if placed:
+                    break
+                col = (col + 1) % n_cols
+            if not placed:
+                raise ValueError(
+                    f"device cannot fit a {length}-long DSP cascade macro even densely packed"
+                )
+
+    # ------------------------------------------------------------------
+    def legalize_brams(self, placement: Placement, movable_mask: np.ndarray) -> None:
+        dev = self.device
+        nl = placement.netlist
+        occupied = np.zeros(dev.n_sites("BRAM"), dtype=bool)
+        todo = []
+        for c in nl.cells:
+            if c.ctype is not CellType.BRAM:
+                continue
+            if movable_mask[c.index]:
+                placement.site[c.index] = -1
+                todo.append(c.index)
+            elif placement.site[c.index] >= 0:
+                occupied[placement.site[c.index]] = True
+            else:
+                todo.append(c.index)
+        todo.sort(key=lambda i: (placement.xy[i, 1], placement.xy[i, 0]))
+        for idx in todo:
+            sid = self._nearest_free("BRAM", placement.xy[idx], occupied)
+            occupied[sid] = True
+            placement.assign_site(idx, sid)
+
+    def _nearest_free(self, kind: str, xy: np.ndarray, occupied: np.ndarray) -> int:
+        k = 32
+        n = occupied.size
+        while True:
+            cand = self.device.nearest_sites(kind, xy[0], xy[1], k=k)
+            for sid in cand:
+                if not occupied[sid]:
+                    return int(sid)
+            if k >= n:
+                raise ValueError(f"no free {kind} site left")
+            k = min(n, k * 4)
+
+    # ------------------------------------------------------------------
+    def legalize_clb(self, placement: Placement, movable_mask: np.ndarray) -> None:
+        dev = self.device
+        nl = placement.netlist
+        cap = dev.clb_capacity
+        cols = dev.kind_columns("CLB")
+        col_x = np.array([c.x for c in cols])
+        load = np.zeros(dev.n_sites("CLB"), dtype=np.int64)
+        col_start = np.cumsum([0] + [c.n_sites for c in cols])
+
+        todo: list[int] = []
+        for c in nl.cells:
+            if c.ctype.site_kind != "CLB" or c.is_fixed:
+                continue
+            if movable_mask[c.index]:
+                placement.site[c.index] = -1
+                todo.append(c.index)
+            elif placement.site[c.index] >= 0:
+                load[placement.site[c.index]] += 1
+            else:
+                todo.append(c.index)
+        if sum(c.n_sites for c in cols) * cap < load.sum() + len(todo):
+            raise ValueError("design does not fit the device's CLB capacity")
+
+        xys = placement.xy[todo] if todo else np.zeros((0, 2))
+        # nearest column and row per cell, vectorized
+        ci = np.searchsorted(col_x, xys[:, 0])
+        ci = np.clip(ci, 0, len(cols) - 1)
+        left = np.clip(ci - 1, 0, len(cols) - 1)
+        pick_left = np.abs(col_x[left] - xys[:, 0]) < np.abs(col_x[ci] - xys[:, 0])
+        ci = np.where(pick_left, left, ci)
+
+        n_cols = len(cols)
+        for pos, idx in enumerate(todo):
+            c0 = int(ci[pos])
+            y = xys[pos, 1]
+            sid = self._clb_probe(c0, y, cols, col_start, load, cap, n_cols)
+            load[sid] += 1
+            placement.assign_site(idx, sid)
+
+    def _clb_probe(self, c0, y, cols, col_start, load, cap, n_cols) -> int:
+        """Find a CLB site with spare capacity, spiralling out from (c0, y)."""
+        for dc in _spiral():
+            c = c0 + dc
+            if c < 0 or c >= n_cols:
+                if abs(dc) > n_cols:
+                    raise ValueError("CLB legalization ran out of sites")
+                continue
+            col = cols[c]
+            ys = col.ys
+            r0 = int(np.clip(np.searchsorted(ys, y), 0, len(ys) - 1))
+            base = int(col_start[c])
+            for dr in range(len(ys)):
+                for r in (r0 - dr, r0 + dr) if dr else (r0,):
+                    if 0 <= r < len(ys) and load[base + r] < cap:
+                        return base + r
+        raise ValueError("unreachable")
+
+
+def _spiral():
+    """0, -1, +1, -2, +2, ... column offsets."""
+    yield 0
+    d = 1
+    while True:
+        yield -d
+        yield d
+        d += 1

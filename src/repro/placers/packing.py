@@ -1,0 +1,86 @@
+"""BLE packing: LUT→FF pairing before legalization.
+
+FPGA CLBs co-locate a LUT and the flip-flop it drives inside one BLE with a
+dedicated (near-zero-delay) connection; packing-aware placers (UTPlaceF and
+friends, cited in the paper's Section I) exploit it. This module implements
+the classic first-order packing: every flip-flop whose D-input is driven by
+a single-fanout LUT forms a rigid pair, and pairs are collapsed onto their
+centroid before legalization so CLB legalization drops both into the same
+(or an adjacent) site.
+
+Opt-in (``VivadoLikePlacer(pack_ble=True)``); the packing ablation bench
+measures what it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.cell import CellType
+from repro.netlist.netlist import Netlist
+from repro.placers.placement import Placement
+
+
+@dataclass(frozen=True)
+class Packing:
+    """A set of rigid cell groups (currently LUT→FF pairs)."""
+
+    pairs: tuple[tuple[int, int], ...]  # (lut, ff)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def packed_cells(self) -> set[int]:
+        out: set[int] = set()
+        for a, b in self.pairs:
+            out.add(a)
+            out.add(b)
+        return out
+
+
+def pack_lut_ff_pairs(netlist: Netlist) -> Packing:
+    """Pair every FF with its driving LUT when the LUT drives only that FF."""
+    fanout_count = np.zeros(len(netlist.cells), dtype=np.int64)
+    driver_of: dict[int, int] = {}  # ff cell -> driving cell
+    for net in netlist.nets:
+        fanout_count[net.driver] += len(net.sinks)
+        for s in net.sinks:
+            if netlist.cells[s].ctype is CellType.FF:
+                # an FF has one D input; the first (only) driver wins
+                driver_of.setdefault(s, net.driver)
+    pairs: list[tuple[int, int]] = []
+    used: set[int] = set()
+    for ff, drv in driver_of.items():
+        if (
+            netlist.cells[drv].ctype is CellType.LUT
+            and fanout_count[drv] == 1
+            and drv not in used
+            and ff not in used
+        ):
+            pairs.append((drv, ff))
+            used.add(drv)
+            used.add(ff)
+    return Packing(pairs=tuple(pairs))
+
+
+def apply_packing(placement: Placement, packing: Packing) -> None:
+    """Collapse each pair onto its centroid (call between global placement
+    and legalization; the CLB legalizer then keeps the pair together)."""
+    for lut, ff in packing.pairs:
+        centroid = (placement.xy[lut] + placement.xy[ff]) / 2.0
+        placement.xy[lut] = centroid
+        placement.xy[ff] = centroid
+
+
+def packing_quality(placement: Placement, packing: Packing) -> float:
+    """Mean post-legalization LUT↔FF distance over the packed pairs (µm)."""
+    if not packing.pairs:
+        return 0.0
+    d = 0.0
+    for lut, ff in packing.pairs:
+        delta = placement.xy[lut] - placement.xy[ff]
+        d += abs(float(delta[0])) + abs(float(delta[1]))
+    return d / len(packing.pairs)

@@ -1,0 +1,130 @@
+"""Placement state: cell coordinates + site assignments + legality checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.device import Device
+from repro.netlist.cell import CellType
+from repro.netlist.netlist import Netlist
+
+
+class Placement:
+    """Coordinates and site assignments for every cell of a netlist.
+
+    ``xy[i]`` is cell i's location in µm (continuous during global
+    placement). ``site[i]`` is the site id *within the cell's site kind*
+    after legalization, or −1. Fixed cells (PS, IO) are pinned at
+    construction.
+    """
+
+    def __init__(self, netlist: Netlist, device: Device) -> None:
+        self.netlist = netlist
+        self.device = device
+        n = len(netlist.cells)
+        self.xy = np.zeros((n, 2), dtype=np.float64)
+        self.site = np.full(n, -1, dtype=np.int64)
+        center = (device.width / 2.0, device.height / 2.0)
+        for cell in netlist.cells:
+            self.xy[cell.index] = cell.fixed_xy if cell.is_fixed else center
+        self._net_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def copy(self) -> "Placement":
+        new = Placement.__new__(Placement)
+        new.netlist = self.netlist
+        new.device = self.device
+        new.xy = self.xy.copy()
+        new.site = self.site.copy()
+        new._net_arrays = self._net_arrays
+        return new
+
+    # ------------------------------------------------------------------
+    def assign_site(self, cell_idx: int, site_id: int) -> None:
+        """Pin a cell onto a site of its kind and update its coordinates."""
+        kind = self.netlist.cells[cell_idx].ctype.site_kind
+        self.site[cell_idx] = site_id
+        self.xy[cell_idx] = self.device.site_xy(kind)[site_id]
+
+    def _pin_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened (pin_cell, net_ptr, net_weight) arrays for HPWL."""
+        if self._net_arrays is None:
+            pin_cell: list[int] = []
+            ptr: list[int] = [0]
+            weights: list[float] = []
+            for net in self.netlist.nets:
+                pin_cell.extend(net.cells)
+                ptr.append(len(pin_cell))
+                weights.append(net.weight)
+            self._net_arrays = (
+                np.array(pin_cell, dtype=np.int64),
+                np.array(ptr, dtype=np.int64),
+                np.array(weights, dtype=np.float64),
+            )
+        return self._net_arrays
+
+    def net_bboxes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(xmin, xmax, ymin, ymax) per net, vectorized."""
+        pin_cell, ptr, _ = self._pin_arrays()
+        px = self.xy[pin_cell, 0]
+        py = self.xy[pin_cell, 1]
+        starts = ptr[:-1]
+        xmin = np.minimum.reduceat(px, starts)
+        xmax = np.maximum.reduceat(px, starts)
+        ymin = np.minimum.reduceat(py, starts)
+        ymax = np.maximum.reduceat(py, starts)
+        return xmin, xmax, ymin, ymax
+
+    def hpwl(self, weighted: bool = False) -> float:
+        """Total half-perimeter wirelength (µm); the paper's HPWL metric."""
+        xmin, xmax, ymin, ymax = self.net_bboxes()
+        lengths = (xmax - xmin) + (ymax - ymin)
+        if weighted:
+            _, _, w = self._pin_arrays()
+            lengths = lengths * w
+        return float(lengths.sum())
+
+    # ------------------------------------------------------------------
+    def legality_violations(self) -> list[str]:
+        """All legality violations (empty list ⇔ the placement is legal).
+
+        Checks: every placeable cell sits on a site of its kind; DSP/BRAM
+        sites hold one cell; CLB sites hold at most ``device.clb_capacity``
+        cells; every cascade macro occupies consecutive rows of one DSP
+        column, predecessor below successor; fixed cells untouched.
+        """
+        out: list[str] = []
+        nl, dev = self.netlist, self.device
+        used: dict[str, dict[int, int]] = {"DSP": {}, "BRAM": {}, "CLB": {}}
+        for cell in nl.cells:
+            if cell.is_fixed:
+                if not np.allclose(self.xy[cell.index], cell.fixed_xy):
+                    out.append(f"fixed cell {cell.name} moved")
+                continue
+            kind = cell.ctype.site_kind
+            sid = int(self.site[cell.index])
+            if sid < 0 or sid >= dev.n_sites(kind):
+                out.append(f"{cell.name}: no legal {kind} site")
+                continue
+            used[kind][sid] = used[kind].get(sid, 0) + 1
+            if not np.allclose(self.xy[cell.index], dev.site_xy(kind)[sid]):
+                out.append(f"{cell.name}: xy out of sync with site {sid}")
+        for kind, cap in (("DSP", 1), ("BRAM", 1), ("CLB", dev.clb_capacity)):
+            for sid, cnt in used[kind].items():
+                if cnt > cap:
+                    out.append(f"{kind} site {sid} holds {cnt} cells (cap {cap})")
+        dsp_sites = dev.sites("DSP")
+        for macro in nl.macros:
+            sids = [int(self.site[i]) for i in macro.dsps]
+            if any(s < 0 for s in sids):
+                continue  # already reported above
+            cols = {dsp_sites[s].col for s in sids}
+            if len(cols) != 1:
+                out.append(f"macro {macro.macro_id} spans columns {sorted(cols)}")
+                continue
+            rows = [dsp_sites[s].row for s in sids]
+            if any(r2 - r1 != 1 for r1, r2 in zip(rows, rows[1:])):
+                out.append(f"macro {macro.macro_id} rows not consecutive: {rows}")
+        return out
+
+    def is_legal(self) -> bool:
+        return not self.legality_violations()

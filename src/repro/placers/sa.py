@@ -1,0 +1,130 @@
+"""Simulated-annealing placer.
+
+The paper's Section I names simulated annealing as the other classic FPGA
+placement family, noting it "might lead to long placement runtime when the
+input netlist is large". This implementation exists to make that comparison
+concrete (see the ablation benches): it anneals over *legal* states — single
+moves/swaps within a site kind, and whole-macro column shifts — so every
+intermediate state remains legal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fpga.device import Device
+from repro.netlist.cell import CellType
+from repro.netlist.netlist import Netlist
+from repro.placers.legalizer import Legalizer
+from repro.placers.placement import Placement
+
+
+class SimulatedAnnealingPlacer:
+    """Legal-state annealing over DSP/BRAM sites (CLB cells greedy-legalized)."""
+
+    name = "sa"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_moves_per_cell: int = 200,
+        t0_frac: float = 0.05,
+        cooling: float = 0.92,
+    ) -> None:
+        self.seed = seed
+        self.n_moves_per_cell = n_moves_per_cell
+        self.t0_frac = t0_frac
+        self.cooling = cooling
+
+    def place(
+        self,
+        netlist: Netlist,
+        device: Device,
+        placement: Placement | None = None,
+        movable_mask: np.ndarray | None = None,
+    ) -> Placement:
+        """Anneal from a random legal start (or the given placement)."""
+        rng = np.random.default_rng(self.seed)
+        place = placement.copy() if placement is not None else Placement(netlist, device)
+        if placement is None:
+            # random-ish start: scatter then legalize everything
+            mov = [c.index for c in netlist.cells if not c.is_fixed]
+            place.xy[mov, 0] = rng.uniform(0, device.width, len(mov))
+            place.xy[mov, 1] = rng.uniform(0, device.height, len(mov))
+            Legalizer(device).legalize(place, movable_mask=movable_mask)
+
+        incident = netlist.nets_of_cell()
+        in_macro: set[int] = set()
+        for m in netlist.macros:
+            in_macro.update(m.dsps)
+        movers = [
+            c.index
+            for c in netlist.cells
+            if c.ctype in (CellType.DSP, CellType.BRAM)
+            and not c.is_fixed
+            and c.index not in in_macro
+            and (movable_mask is None or movable_mask[c.index])
+        ]
+        if not movers:
+            return place
+
+        kind_of = {i: netlist.cells[i].ctype.site_kind for i in movers}
+        owner: dict[str, np.ndarray] = {}
+        for kind in ("DSP", "BRAM"):
+            arr = np.full(device.n_sites(kind), -1, dtype=np.int64)
+            for c in netlist.cells:
+                if c.ctype.site_kind == kind and place.site[c.index] >= 0:
+                    arr[place.site[c.index]] = c.index
+            owner[kind] = arr
+
+        def nets_cost(nids) -> float:
+            total = 0.0
+            for nid in nids:
+                net = netlist.nets[nid]
+                pts = place.xy[list(net.cells)]
+                total += net.weight * (
+                    pts[:, 0].max() - pts[:, 0].min() + pts[:, 1].max() - pts[:, 1].min()
+                )
+            return total
+
+        temp = self.t0_frac * (device.width + device.height)
+        n_rounds = 24
+        moves_per_round = max(1, self.n_moves_per_cell * len(movers) // n_rounds)
+        for _ in range(n_rounds):
+            for _ in range(moves_per_round):
+                idx = movers[int(rng.integers(len(movers)))]
+                kind = kind_of[idx]
+                # candidate site near current position with a temperature-range
+                span = max(temp, 50.0)
+                cx = place.xy[idx, 0] + rng.uniform(-span, span)
+                cy = place.xy[idx, 1] + rng.uniform(-span, span)
+                sid = int(device.nearest_sites(kind, cx, cy, k=1)[0])
+                if sid == place.site[idx]:
+                    continue
+                other = int(owner[kind][sid])
+                if other >= 0 and (other in in_macro or netlist.cells[other].is_fixed):
+                    continue
+                if other >= 0 and movable_mask is not None and not movable_mask[other]:
+                    continue
+                nids = (
+                    incident[idx]
+                    if other < 0
+                    else list(set(incident[idx]) | set(incident[other]))
+                )
+                before = nets_cost(nids)
+                old = int(place.site[idx])
+                place.assign_site(idx, sid)
+                if other >= 0:
+                    place.assign_site(other, old)
+                delta = nets_cost(nids) - before
+                if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-6)):
+                    owner[kind][sid] = idx
+                    owner[kind][old] = other if other >= 0 else -1
+                else:
+                    place.assign_site(idx, old)
+                    if other >= 0:
+                        place.assign_site(other, sid)
+            temp *= self.cooling
+        return place

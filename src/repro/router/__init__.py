@@ -1,0 +1,17 @@
+"""Routing substrate: congestion estimation and routed-wirelength modelling.
+
+Stands in for Vivado's router + RapidWright's wirelength computation in the
+paper's evaluation. Routing demand is estimated with the RUDY model (uniform
+wirelength smearing over each net's bounding box via 2-D difference arrays),
+per-net detour factors grow with the congestion a net's bounding box
+overlaps, and routed wirelength = HPWL × Steiner correction × detour. The
+detour factors feed the STA net delays, which is how the paper's observed
+"compactness ⇒ medium congestion ⇒ slightly longer routing" trade-off
+materializes in this reproduction.
+"""
+
+from repro.router.estimator import net_hpwl, steiner_factor
+from repro.router.global_router import GlobalRouter, RoutingResult
+from repro.router.pattern_router import PatternRouter
+
+__all__ = ["net_hpwl", "steiner_factor", "GlobalRouter", "RoutingResult", "PatternRouter"]

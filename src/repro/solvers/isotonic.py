@@ -1,0 +1,156 @@
+"""Intra-column row legalization (paper eq. 11) and L1 isotonic regression.
+
+Formulation (11) asks for integer rows ``r_i`` for the ordered DSPs of one
+column, minimizing total vertical displacement ``Σ|r_i − R_col(i)|`` with
+cascaded pairs exactly adjacent (11a) and everything else strictly ordered
+without overlap (11b). Collapsing each cascade chain into a rigid block
+reduces it to placing ordered blocks on 1-D rows — solved *exactly* here by
+dynamic programming with a running prefix minimum, O(total_rows × blocks).
+
+The module also provides weighted L1 isotonic regression via
+pool-adjacent-violators with medians — the continuous relaxation of the same
+problem, used as a fast seed and exercised by the property-test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """A rigid vertical block: one cascade chain (or a single free DSP).
+
+    ``targets[k]`` is the desired row of the block's k-th member, so a block
+    starting at row ``r`` costs ``Σ_k |r + k − targets[k]|``.
+    """
+
+    targets: tuple[float, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.targets)
+
+    def cost_at(self, start_row: int) -> float:
+        return float(sum(abs(start_row + k - t) for k, t in enumerate(self.targets)))
+
+
+def legalize_column_rows(blocks: list[ColumnBlock], m_rows: int) -> list[int]:
+    """Optimal start rows (0-based) for ordered rigid blocks in one column.
+
+    Blocks must already be sorted by desired vertical position (the paper
+    sorts macro members by the macro's average location, Section IV-B). The
+    returned rows satisfy ``start[j+1] >= start[j] + blocks[j].size`` and fit
+    within ``[0, m_rows)``.
+
+    Raises:
+        ValueError: If the blocks cannot fit in the column.
+    """
+    if not blocks:
+        return []
+    sizes = [b.size for b in blocks]
+    total = sum(sizes)
+    if total > m_rows:
+        raise ValueError(f"blocks need {total} rows but the column has {m_rows}")
+
+    n_blocks = len(blocks)
+    prefix = np.concatenate(([0], np.cumsum(sizes)))  # rows consumed before block j
+    INF = math.inf
+
+    # dp[r] = best cost placing blocks[0..j] with block j starting at row r
+    # feasible window of block j: [prefix[j], m_rows - (total - prefix[j])]
+    choice: list[np.ndarray] = []
+    prev = None  # running dp for block j-1
+    for j, block in enumerate(blocks):
+        lo = int(prefix[j])
+        hi = m_rows - (total - int(prefix[j]))  # inclusive upper start row
+        width = hi - lo + 1
+        cost = np.array([block.cost_at(r) for r in range(lo, hi + 1)])
+        if j == 0:
+            dp = cost
+            choice.append(np.arange(lo, hi + 1))
+        else:
+            # block j at row r needs block j-1 at row <= r - sizes[j-1]
+            plo = int(prefix[j - 1])
+            # prefix-min of prev with argmin tracking
+            pmin = np.empty(prev.size)
+            parg = np.empty(prev.size, dtype=np.int64)
+            run = INF
+            ridx = -1
+            for k in range(prev.size):
+                if prev[k] < run:
+                    run = prev[k]
+                    ridx = k
+                pmin[k] = run
+                parg[k] = ridx
+            dp = np.empty(width)
+            arg = np.empty(width, dtype=np.int64)
+            for i, r in enumerate(range(lo, hi + 1)):
+                k = r - sizes[j - 1] - plo  # max index into prev
+                if k < 0:
+                    dp[i] = INF
+                    arg[i] = -1
+                else:
+                    k = min(k, prev.size - 1)
+                    dp[i] = pmin[k] + cost[i]
+                    arg[i] = parg[k] + plo
+            choice.append(arg)
+        prev = dp
+
+    if not np.isfinite(prev).any():
+        raise ValueError("no feasible block packing (should not happen when they fit)")
+
+    # backtrack
+    starts = [0] * n_blocks
+    lo_last = int(prefix[n_blocks - 1])
+    i = int(np.argmin(prev))
+    starts[-1] = lo_last + i
+    for j in range(n_blocks - 1, 0, -1):
+        lo_j = int(prefix[j])
+        idx = starts[j] - lo_j
+        starts[j - 1] = int(choice[j][idx])
+    return starts
+
+
+def l1_isotonic(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted L1 isotonic regression by pool-adjacent-violators with medians.
+
+    Finds non-decreasing ``f`` minimizing ``Σ w_i |f_i − values_i|``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if n == 0:
+        return values.copy()
+    weights = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    if weights.size != n or np.any(weights <= 0):
+        raise ValueError("weights must be positive and match values")
+
+    # Each pool keeps its member (value, weight) pairs; level = weighted median.
+    pools: list[list[int]] = []  # member indices
+    levels: list[float] = []
+
+    def _wmedian(idx: list[int]) -> float:
+        order = sorted(idx, key=lambda i: values[i])
+        half = weights[order].sum() / 2.0
+        acc = 0.0
+        for i in order:
+            acc += weights[i]
+            if acc >= half - 1e-15:
+                return float(values[i])
+        return float(values[order[-1]])
+
+    for i in range(n):
+        pools.append([i])
+        levels.append(float(values[i]))
+        while len(pools) > 1 and levels[-2] > levels[-1] + 1e-15:
+            merged = pools[-2] + pools[-1]
+            pools = pools[:-2] + [merged]
+            levels = levels[:-2] + [_wmedian(merged)]
+
+    out = np.empty(n)
+    for pool, level in zip(pools, levels):
+        out[pool] = level
+    return out

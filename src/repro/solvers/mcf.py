@@ -1,0 +1,196 @@
+"""Min-cost flow via successive shortest paths with Johnson potentials.
+
+This replaces the LEMON solver the paper uses for the linearized DSP
+assignment (eq. 8/9): the weighted-sum-of-``x_ij`` objective under the
+assignment constraints (eq. 4) is a unit-capacity transportation problem,
+whose constraint matrix is totally unimodular, so the LP optimum — and hence
+the flow optimum — is integral (Section IV-A).
+
+The solver maintains node potentials so Dijkstra runs on non-negative
+reduced costs; an initial Bellman-Ford pass absorbs negative edge costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+
+class MinCostFlow:
+    """A directed flow network with per-edge capacity and cost.
+
+    Edges are stored pairwise (forward at even ids, residual at odd ids) in
+    flat lists — the classic forward-star layout.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("network needs at least one node")
+        self.n = n_nodes
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._cost: list[float] = []
+        self._adj: list[list[int]] = [[] for _ in range(n_nodes)]
+
+    def add_edge(self, u: int, v: int, cap: float, cost: float) -> int:
+        """Add edge u→v; returns the forward edge id (use with :meth:`flow_on`)."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise IndexError(f"edge ({u}, {v}) out of range")
+        if cap < 0:
+            raise ValueError("negative capacity")
+        eid = len(self._to)
+        self._to.extend((v, u))
+        self._cap.extend((float(cap), 0.0))
+        self._cost.extend((float(cost), -float(cost)))
+        self._adj[u].append(eid)
+        self._adj[v].append(eid + 1)
+        return eid
+
+    def flow_on(self, eid: int) -> float:
+        """Flow currently routed through forward edge ``eid``."""
+        return self._cap[eid ^ 1]
+
+    # ------------------------------------------------------------------
+    def _bellman_ford_potentials(self, s: int) -> list[float]:
+        """Initial potentials; needed when edges carry negative costs."""
+        dist = [math.inf] * self.n
+        dist[s] = 0.0
+        for _ in range(self.n - 1):
+            changed = False
+            for u in range(self.n):
+                du = dist[u]
+                if du == math.inf:
+                    continue
+                for eid in self._adj[u]:
+                    if self._cap[eid] > 1e-12:
+                        v = self._to[eid]
+                        nd = du + self._cost[eid]
+                        if nd < dist[v] - 1e-12:
+                            dist[v] = nd
+                            changed = True
+            if not changed:
+                break
+        return [d if d < math.inf else 0.0 for d in dist]
+
+    def min_cost_flow(
+        self, s: int, t: int, max_flow: float = math.inf
+    ) -> tuple[float, float]:
+        """Send up to ``max_flow`` units from ``s`` to ``t`` at minimum cost.
+
+        Returns ``(flow_sent, total_cost)``. The network keeps its residual
+        state, so edge flows can be read back via :meth:`flow_on`.
+        """
+        if s == t:
+            raise ValueError("source equals sink")
+        has_negative = any(
+            self._cost[eid] < 0 and self._cap[eid] > 0 for eid in range(0, len(self._to), 2)
+        )
+        potential = self._bellman_ford_potentials(s) if has_negative else [0.0] * self.n
+
+        total_flow = 0.0
+        total_cost = 0.0
+        prev_edge = [-1] * self.n
+
+        while total_flow < max_flow:
+            dist = [math.inf] * self.n
+            dist[s] = 0.0
+            prev_edge = [-1] * self.n
+            heap: list[tuple[float, int]] = [(0.0, s)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist[u] + 1e-12:
+                    continue
+                for eid in self._adj[u]:
+                    if self._cap[eid] <= 1e-12:
+                        continue
+                    v = self._to[eid]
+                    nd = d + self._cost[eid] + potential[u] - potential[v]
+                    if nd < dist[v] - 1e-12:
+                        dist[v] = nd
+                        prev_edge[v] = eid
+                        heapq.heappush(heap, (nd, v))
+            if dist[t] == math.inf:
+                break  # no more augmenting paths
+            for v in range(self.n):
+                if dist[v] < math.inf:
+                    potential[v] += dist[v]
+            # bottleneck along the path
+            push = max_flow - total_flow
+            v = t
+            while v != s:
+                eid = prev_edge[v]
+                push = min(push, self._cap[eid])
+                v = self._to[eid ^ 1]
+            # apply
+            v = t
+            while v != s:
+                eid = prev_edge[v]
+                self._cap[eid] -= push
+                self._cap[eid ^ 1] += push
+                total_cost += push * self._cost[eid]
+                v = self._to[eid ^ 1]
+            total_flow += push
+        return total_flow, total_cost
+
+
+@dataclass(frozen=True)
+class _AssignmentArcs:
+    """Bookkeeping for :func:`min_cost_assignment`."""
+
+    edge_ids: dict[tuple[int, int], int]
+
+
+def min_cost_assignment(
+    n_agents: int,
+    n_slots: int,
+    arcs: list[tuple[int, int, float]],
+    slot_capacity: int = 1,
+) -> dict[int, int]:
+    """Assign every agent to a slot at minimum total cost.
+
+    Args:
+        n_agents: Agents 0..n_agents-1; each must receive exactly one slot.
+        n_slots: Slots 0..n_slots-1; each takes at most ``slot_capacity``
+            agents.
+        arcs: Candidate ``(agent, slot, cost)`` triples. Agents may only be
+            assigned along a listed arc (the DSP placement restricts each
+            DSP to a candidate window of sites).
+
+    Returns:
+        ``{agent: slot}`` covering all agents.
+
+    Raises:
+        ValueError: If no feasible complete assignment exists.
+    """
+    if n_agents == 0:
+        return {}
+    s = n_agents + n_slots
+    t = s + 1
+    net = MinCostFlow(n_agents + n_slots + 2)
+    for a in range(n_agents):
+        net.add_edge(s, a, 1, 0.0)
+    slot_edge: list[int | None] = [None] * n_slots
+    edge_ids: dict[tuple[int, int], int] = {}
+    seen_slots: set[int] = set()
+    for agent, slot, cost in arcs:
+        if not 0 <= agent < n_agents or not 0 <= slot < n_slots:
+            raise IndexError(f"arc ({agent}, {slot}) out of range")
+        key = (agent, slot)
+        if key in edge_ids:
+            continue
+        edge_ids[key] = net.add_edge(agent, n_agents + slot, 1, float(cost))
+        seen_slots.add(slot)
+    for slot in seen_slots:
+        slot_edge[slot] = net.add_edge(n_agents + slot, t, slot_capacity, 0.0)
+
+    flow, _cost = net.min_cost_flow(s, t, n_agents)
+    if flow < n_agents - 1e-9:
+        raise ValueError(
+            f"infeasible assignment: only {flow:.0f} of {n_agents} agents placeable"
+        )
+    result: dict[int, int] = {}
+    for (agent, slot), eid in edge_ids.items():
+        if net.flow_on(eid) > 0.5:
+            result[agent] = slot
+    return result

@@ -1,0 +1,191 @@
+"""Dense two-phase primal simplex.
+
+A dependency-free LP engine used as the fallback relaxation solver for the
+branch-and-bound ILP (and as an independent reference for scipy's HiGHS in
+the test suite). Dense tableau, Bland's anti-cycling rule — intended for the
+small LPs that arise in legalization, not for the global placement systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    x: np.ndarray | None
+    objective: float | None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+def _simplex_standard(c: np.ndarray, A: np.ndarray, b: np.ndarray) -> LPResult:
+    """min c@x  s.t.  A x = b, x >= 0  (b >= 0 assumed), two-phase."""
+    m, n = A.shape
+    # Phase 1: artificial variables.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = A
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[m, n : n + m] = 1.0
+    basis = list(range(n, n + m))
+    # price out artificials
+    tableau[m, :] -= tableau[:m, :].sum(axis=0)
+
+    def pivot(allowed_cols: int) -> str:
+        while True:
+            row_obj = tableau[m, :allowed_cols]
+            enter = -1
+            for j in range(allowed_cols):  # Bland: smallest index with neg cost
+                if row_obj[j] < -_EPS:
+                    enter = j
+                    break
+            if enter < 0:
+                return "optimal"
+            ratios = np.full(m, math.inf)
+            col = tableau[:m, enter]
+            pos = col > _EPS
+            ratios[pos] = tableau[:m, -1][pos] / col[pos]
+            if not np.isfinite(ratios).any():
+                return "unbounded"
+            best = math.inf
+            leave = -1
+            for i in range(m):  # Bland on ties: smallest basis var
+                if ratios[i] < best - _EPS or (
+                    ratios[i] < best + _EPS and leave >= 0 and basis[i] < basis[leave]
+                ):
+                    best = ratios[i]
+                    leave = i
+            prow = tableau[leave, :] / tableau[leave, enter]
+            tableau[leave, :] = prow
+            for i in range(m + 1):
+                if i != leave and abs(tableau[i, enter]) > _EPS:
+                    tableau[i, :] -= tableau[i, enter] * prow
+            basis[leave] = enter
+
+    status = pivot(n + m)
+    if status != "optimal" or tableau[m, -1] < -1e-7:
+        return LPResult("infeasible", None, None)
+
+    # Drive any remaining artificial out of the basis (degenerate rows).
+    for i in range(m):
+        if basis[i] >= n:
+            for j in range(n):
+                if abs(tableau[i, j]) > _EPS:
+                    prow = tableau[i, :] / tableau[i, j]
+                    tableau[i, :] = prow
+                    for k in range(m + 1):
+                        if k != i and abs(tableau[k, j]) > _EPS:
+                            tableau[k, :] -= tableau[k, j] * prow
+                    basis[i] = j
+                    break
+
+    # Phase 2.
+    tableau[m, :] = 0.0
+    tableau[m, :n] = c
+    for i in range(m):
+        if basis[i] < n and abs(c[basis[i]]) > _EPS:
+            tableau[m, :] -= c[basis[i]] * tableau[i, :]
+    # artificial columns are forbidden: blank them out
+    tableau[:, n : n + m] = 0.0
+    status = pivot(n)
+    if status == "unbounded":
+        return LPResult("unbounded", None, None)
+    x = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x[basis[i]] = tableau[i, -1]
+    return LPResult("optimal", x, float(c @ x))
+
+
+def solve_lp_simplex(
+    c: np.ndarray,
+    A_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    A_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: list[tuple[float, float]] | None = None,
+) -> LPResult:
+    """min c@x subject to A_ub x <= b_ub, A_eq x = b_eq, lo <= x <= hi.
+
+    Bounds default to ``(0, inf)``; finite lower bounds are shifted out and
+    finite upper bounds become inequality rows. Mirrors the relevant subset
+    of :func:`scipy.optimize.linprog`'s interface.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    n = c.size
+    bounds = bounds or [(0.0, math.inf)] * n
+    if len(bounds) != n:
+        raise ValueError("bounds length mismatch")
+    lo = np.array([b[0] for b in bounds])
+    hi = np.array([math.inf if b[1] is None else b[1] for b in bounds])
+    if np.any(~np.isfinite(lo)):
+        raise ValueError("free/unbounded-below variables are not supported")
+
+    rows_ub: list[np.ndarray] = []
+    rhs_ub: list[float] = []
+    if A_ub is not None:
+        A_ub = np.atleast_2d(np.asarray(A_ub, dtype=np.float64))
+        b_ub = np.atleast_1d(np.asarray(b_ub, dtype=np.float64))
+        for i in range(A_ub.shape[0]):
+            rows_ub.append(A_ub[i])
+            rhs_ub.append(float(b_ub[i] - A_ub[i] @ lo))
+    for j in range(n):
+        if np.isfinite(hi[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            rows_ub.append(row)
+            rhs_ub.append(float(hi[j] - lo[j]))
+
+    rows_eq: list[np.ndarray] = []
+    rhs_eq: list[float] = []
+    if A_eq is not None:
+        A_eq = np.atleast_2d(np.asarray(A_eq, dtype=np.float64))
+        b_eq = np.atleast_1d(np.asarray(b_eq, dtype=np.float64))
+        for i in range(A_eq.shape[0]):
+            rows_eq.append(A_eq[i])
+            rhs_eq.append(float(b_eq[i] - A_eq[i] @ lo))
+
+    n_slack = len(rows_ub)
+    n_all = n + n_slack
+    m = n_slack + len(rows_eq)
+    if m == 0:
+        # unconstrained over x >= lo: optimal at lo for c >= 0 else unbounded
+        if np.any(c < -_EPS):
+            finite_fix = np.all(np.isfinite(hi[c < -_EPS]))
+            if not finite_fix:
+                return LPResult("unbounded", None, None)
+        x = np.where(c < 0, np.where(np.isfinite(hi), hi, lo), lo)
+        return LPResult("optimal", x, float(c @ x))
+
+    A = np.zeros((m, n_all))
+    b = np.zeros(m)
+    for i, (row, rhs) in enumerate(zip(rows_ub, rhs_ub)):
+        A[i, :n] = row
+        A[i, n + i] = 1.0
+        b[i] = rhs
+    for k, (row, rhs) in enumerate(zip(rows_eq, rhs_eq)):
+        A[n_slack + k, :n] = row
+        b[n_slack + k] = rhs
+    # ensure b >= 0
+    neg = b < 0
+    A[neg, :] *= -1.0
+    b[neg] *= -1.0
+
+    c_full = np.zeros(n_all)
+    c_full[:n] = c
+    res = _simplex_standard(c_full, A, b)
+    if not res.ok:
+        return res
+    x = res.x[:n] + lo
+    return LPResult("optimal", x, float(c @ x))

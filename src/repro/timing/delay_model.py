@@ -1,0 +1,81 @@
+"""Delay model: logic delays + distance/congestion-dependent net delays.
+
+Numbers are UltraScale+-flavoured (speed grade -2-ish orders of magnitude,
+not datasheet-exact): LUT ≈ 0.15 ns, DSP48E2 used pipelined (registered
+inputs/outputs), BRAM synchronous read ≈ 0.9 ns clock-to-out, and general
+fabric routing around 0.7 ns per mm plus congestion detours.
+
+The dedicated DSP cascade wiring is the load-bearing detail for this paper:
+a PCOUT→PCIN hop between *vertically adjacent* sites of one column costs a
+fixed ~0.03 ns, while a cascade that has to leave the dedicated spine and
+cross the fabric pays routed delay plus an escape-mux penalty. Compact,
+legal cascades are therefore exactly what closes timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cell import CellType
+
+#: cell kinds that begin/end timing paths (registered elements + pads)
+SEQUENTIAL_KINDS = frozenset(
+    {CellType.FF, CellType.DSP, CellType.BRAM, CellType.IO, CellType.PS}
+)
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """All timing constants, in nanoseconds (and ns/µm for wire)."""
+
+    prop: dict = field(
+        default_factory=lambda: {
+            CellType.LUT: 0.15,
+            CellType.CARRY: 0.08,
+            CellType.LUTRAM: 0.45,  # asynchronous distributed-RAM read
+        }
+    )
+    clk_to_q: dict = field(
+        default_factory=lambda: {
+            CellType.FF: 0.10,
+            CellType.DSP: 0.55,
+            CellType.BRAM: 0.90,
+            CellType.IO: 0.30,
+            CellType.PS: 0.40,
+        }
+    )
+    setup: dict = field(
+        default_factory=lambda: {
+            CellType.FF: 0.05,
+            CellType.DSP: 0.25,
+            CellType.BRAM: 0.30,
+            CellType.IO: 0.30,
+            CellType.PS: 0.40,
+        }
+    )
+    net_base: float = 0.05
+    net_per_um: float = 0.0007
+    cascade_fixed: float = 0.03
+    cascade_escape_penalty: float = 0.25
+    #: clock skew charged per clock-region (Chebyshev) step between a
+    #: path's launch register and its capture register — the UltraScale+
+    #: clock network is balanced within a region, skewed across regions
+    clock_skew_per_region: float = 0.03
+
+    def is_sequential(self, ctype: CellType) -> bool:
+        return ctype in SEQUENTIAL_KINDS
+
+    def net_delay(self, dist_um: float, detour: float = 1.0) -> float:
+        """Routed point-to-point delay for a fabric net."""
+        return self.net_base + self.net_per_um * dist_um * detour
+
+    def cascade_delay(self, adjacent: bool, dist_um: float, detour: float = 1.0) -> float:
+        """DSP→DSP cascade hop delay.
+
+        ``adjacent`` means the two DSPs sit on consecutive rows of the same
+        column (legal dedicated cascade). Otherwise the signal must escape
+        into the fabric.
+        """
+        if adjacent:
+            return self.cascade_fixed
+        return self.cascade_escape_penalty + self.net_delay(dist_um, detour)

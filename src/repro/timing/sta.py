@@ -1,0 +1,306 @@
+"""Graph-based static timing analysis (setup checks).
+
+Builds the combinational timing graph once per netlist (sequential cells —
+FF/DSP/BRAM/IO/PS — break paths; LUT/CARRY/LUTRAM propagate), then evaluates
+arrival times for any placement + routing in topological order. Reports the
+paper's Table II metrics: setup WNS and TNS over all endpoint pins, plus the
+critical path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.placers.placement import Placement
+from repro.router.global_router import RoutingResult
+from repro.timing.delay_model import DelayModel
+
+
+@dataclass
+class TimingReport:
+    """Setup-timing summary for one placement."""
+
+    period_ns: float
+    wns_ns: float
+    tns_ns: float
+    n_endpoints: int
+    n_failing: int
+    endpoint_slack: np.ndarray
+    critical_path: list[int]  # cell indices, start → endpoint
+    #: cell index of each endpoint (aligned with endpoint_slack)
+    endpoint_cells: np.ndarray | None = None
+    #: worst-arrival predecessor of each endpoint / combinational cell,
+    #: kept so reports can backtrace any endpoint's critical path
+    _end_pred: np.ndarray | None = None
+    _best_pred: np.ndarray | None = None
+    #: per-cell output-pin slack (only with ``analyze(with_slacks=True)``);
+    #: NaN for cells with no downstream timing endpoint
+    cell_output_slack: np.ndarray | None = None
+
+    def path_of(self, endpoint_rank: int) -> list[int]:
+        """Critical path (start → endpoint) of the k-th worst endpoint."""
+        if self.endpoint_cells is None:
+            raise ValueError("report carries no endpoint detail")
+        order = np.argsort(self.endpoint_slack)
+        idx = int(order[endpoint_rank])
+        path = [int(self.endpoint_cells[idx])]
+        u = int(self._end_pred[idx])
+        while u >= 0:
+            path.append(u)
+            u = int(self._best_pred[u])  # −1 at sequential/unfed cells
+        path.reverse()
+        return path
+
+    @property
+    def met(self) -> bool:
+        return self.wns_ns >= 0.0
+
+    @property
+    def freq_mhz_limit(self) -> float:
+        """Highest frequency this placement could close (from the worst path)."""
+        worst_path = self.period_ns - self.wns_ns
+        return 1e3 / max(worst_path, 1e-9)
+
+
+class StaticTimingAnalyzer:
+    """Reusable STA engine for one netlist."""
+
+    def __init__(self, netlist: Netlist, delay_model: DelayModel | None = None) -> None:
+        self.netlist = netlist
+        self.dm = delay_model or DelayModel()
+        self._cascade_pairs = set(netlist.cascade_pairs())
+        self._seq = np.array([self.dm.is_sequential(c.ctype) for c in netlist.cells])
+
+        # edge lists: (src, dst, net_id); plus per-node fanin adjacency
+        self._fanin: list[list[tuple[int, int]]] = [[] for _ in netlist.cells]
+        self._fanout: list[list[tuple[int, int]]] = [[] for _ in netlist.cells]
+        for net in netlist.nets:
+            for s in net.sinks:
+                self._fanin[s].append((net.driver, net.index))
+                self._fanout[net.driver].append((s, net.index))
+
+        # topological order of combinational cells (Kahn over comb preds)
+        n = len(netlist.cells)
+        indeg = np.zeros(n, dtype=np.int64)
+        for u in range(n):
+            if self._seq[u]:
+                continue
+            indeg[u] = sum(1 for (v, _) in self._fanin[u] if not self._seq[v])
+        queue = deque(u for u in range(n) if not self._seq[u] and indeg[u] == 0)
+        order: list[int] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for w, _ in self._fanout[u]:
+                if not self._seq[w]:
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        queue.append(w)
+        n_comb = int((~self._seq).sum())
+        self.has_comb_cycles = len(order) < n_comb
+        if self.has_comb_cycles:
+            # break cycles by appending the leftovers in index order; their
+            # arrivals are then lower bounds (one relaxation round)
+            seen = set(order)
+            order.extend(u for u in range(n) if not self._seq[u] and u not in seen)
+        self._topo = order
+
+    # ------------------------------------------------------------------
+    def _edge_delay(
+        self,
+        src: int,
+        dst: int,
+        net_id: int,
+        placement: Placement,
+        detour: np.ndarray | None,
+    ) -> float:
+        dxy = placement.xy[src] - placement.xy[dst]
+        dist = abs(float(dxy[0])) + abs(float(dxy[1]))
+        det = float(detour[net_id]) if detour is not None else 1.0
+        if (src, dst) in self._cascade_pairs:
+            site_s = int(placement.site[src])
+            site_d = int(placement.site[dst])
+            adjacent = (
+                site_s >= 0
+                and site_d == site_s + 1
+                and placement.device.site_col("DSP")[site_s]
+                == placement.device.site_col("DSP")[site_d]
+            )
+            return self.dm.cascade_delay(adjacent, dist, det)
+        return self.dm.net_delay(dist, det)
+
+    def analyze(
+        self,
+        placement: Placement,
+        routing: RoutingResult | None = None,
+        period_ns: float | None = None,
+        with_slacks: bool = False,
+    ) -> TimingReport:
+        """Run setup STA; ``period_ns`` defaults to the netlist's target.
+
+        With ``with_slacks=True`` a backward required-time pass also fills
+        ``report.cell_output_slack`` — the slack on every cell's output pin
+        (min over all downstream endpoints), which timing-driven placement
+        uses for net criticality weighting.
+        """
+        nl = self.netlist
+        if period_ns is None:
+            if not nl.target_freq_mhz:
+                raise ValueError("no period given and netlist has no target frequency")
+            period_ns = 1e3 / nl.target_freq_mhz
+        detour = routing.net_detour if routing is not None else None
+        dm = self.dm
+
+        n = len(nl.cells)
+        arrival = np.zeros(n)
+        best_pred = np.full(n, -1, dtype=np.int64)
+        # clock region of each cell and, along worst paths, of the launch
+        # register (for the cross-region skew charge)
+        dev = placement.device
+        ncx, ncy = dev.clock_region_shape
+        region_x = np.clip(
+            (placement.xy[:, 0] / max(dev.width, 1e-9) * ncx).astype(np.int64), 0, ncx - 1
+        )
+        region_y = np.clip(
+            (placement.xy[:, 1] / max(dev.height, 1e-9) * ncy).astype(np.int64), 0, ncy - 1
+        )
+        launch = np.arange(n, dtype=np.int64)  # launch register of worst path
+        for u in range(n):
+            if self._seq[u]:
+                arrival[u] = dm.clk_to_q[nl.cells[u].ctype]
+
+        for u in self._topo:
+            best = 0.0
+            pred = -1
+            for v, nid in self._fanin[u]:
+                a = arrival[v] + self._edge_delay(v, u, nid, placement, detour)
+                if a > best:
+                    best = a
+                    pred = v
+            arrival[u] = best + dm.prop.get(nl.cells[u].ctype, 0.0)
+            best_pred[u] = pred
+            if pred >= 0:
+                launch[u] = launch[pred]
+
+        # endpoints: every sequential cell with fanin
+        slacks: list[float] = []
+        ends: list[int] = []
+        end_pred: list[int] = []
+        for u in range(n):
+            if not self._seq[u] or not self._fanin[u]:
+                continue
+            worst = None
+            wpred = -1
+            for v, nid in self._fanin[u]:
+                a = arrival[v] + self._edge_delay(v, u, nid, placement, detour)
+                if dm.clock_skew_per_region:
+                    lv = int(launch[v])
+                    a += dm.clock_skew_per_region * max(
+                        abs(int(region_x[lv]) - int(region_x[u])),
+                        abs(int(region_y[lv]) - int(region_y[u])),
+                    )
+                if worst is None or a > worst:
+                    worst = a
+                    wpred = v
+            slack = period_ns - dm.setup[nl.cells[u].ctype] - worst
+            slacks.append(slack)
+            ends.append(u)
+            end_pred.append(wpred)
+
+        slack_arr = np.array(slacks) if slacks else np.array([period_ns])
+        wns = float(slack_arr.min())
+        tns = float(np.minimum(slack_arr, 0.0).sum())
+        worst_i = int(np.argmin(slack_arr)) if slacks else 0
+
+        crit: list[int] = []
+        if slacks:
+            crit = [ends[worst_i]]
+            u = end_pred[worst_i]
+            while u >= 0:
+                crit.append(u)
+                if self._seq[u]:
+                    break
+                u = int(best_pred[u])
+            crit.reverse()
+
+        cell_slack = None
+        if with_slacks:
+            # backward pass: required time at each cell's output pin
+            required = np.full(n, np.inf)
+            for u in range(n):
+                if not self._seq[u]:
+                    continue
+                for v, nid in self._fanin[u]:
+                    r = (
+                        period_ns
+                        - dm.setup[nl.cells[u].ctype]
+                        - self._edge_delay(v, u, nid, placement, detour)
+                    )
+                    if dm.clock_skew_per_region:
+                        lv = int(launch[v])
+                        r -= dm.clock_skew_per_region * max(
+                            abs(int(region_x[lv]) - int(region_x[u])),
+                            abs(int(region_y[lv]) - int(region_y[u])),
+                        )
+                    required[v] = min(required[v], r)
+            for u in reversed(self._topo):
+                for w, nid in self._fanout[u]:
+                    if self._seq[w]:
+                        continue  # handled above via w's fanin
+                    r = (
+                        required[w]
+                        - dm.prop.get(nl.cells[w].ctype, 0.0)
+                        - self._edge_delay(u, w, nid, placement, detour)
+                    )
+                    required[u] = min(required[u], r)
+            # sequential startpoints: pull required back through their
+            # combinational fanout (all comb required times are final now)
+            for u in range(n):
+                if not self._seq[u]:
+                    continue
+                for w, nid in self._fanout[u]:
+                    if self._seq[w]:
+                        continue
+                    r = (
+                        required[w]
+                        - dm.prop.get(nl.cells[w].ctype, 0.0)
+                        - self._edge_delay(u, w, nid, placement, detour)
+                    )
+                    required[u] = min(required[u], r)
+            with np.errstate(invalid="ignore"):
+                cell_slack = required - arrival
+            cell_slack[~np.isfinite(required)] = np.nan  # no downstream endpoint
+
+        return TimingReport(
+            period_ns=float(period_ns),
+            wns_ns=wns,
+            tns_ns=tns,
+            n_endpoints=len(slacks),
+            n_failing=int((slack_arr < 0).sum()),
+            endpoint_slack=slack_arr,
+            critical_path=crit,
+            endpoint_cells=np.array(ends, dtype=np.int64) if ends else None,
+            _end_pred=np.array(end_pred, dtype=np.int64) if ends else None,
+            _best_pred=best_pred,
+            cell_output_slack=cell_slack,
+        )
+
+
+def max_frequency(
+    sta: StaticTimingAnalyzer,
+    placement: Placement,
+    routing: RoutingResult | None = None,
+    lo_mhz: float = 10.0,
+    hi_mhz: float = 1000.0,
+) -> float:
+    """Highest clock frequency (MHz) with non-negative WNS.
+
+    One STA pass suffices: the worst path delay is period-independent, so
+    f_max = 1 / (worst path delay).
+    """
+    report = sta.analyze(placement, routing, period_ns=1e3 / lo_mhz)
+    return float(np.clip(report.freq_mhz_limit, lo_mhz, hi_mhz))

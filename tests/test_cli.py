@@ -1,0 +1,68 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place"])
+        assert args.tool == "dsplacer"
+        assert args.scale == 0.1
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "--suite", "resnet"])
+
+
+class TestCommands:
+    def test_generate_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "n.json"
+        rc = main(["generate", "--suite", "ismartdnn", "--scale", "0.02", "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["name"] == "iSmartDNN@0.02"
+        assert len(doc["cells"]) > 100
+
+    def test_place_vivado(self, capsys):
+        rc = main(["place", "--suite", "ismartdnn", "--scale", "0.02", "--tool", "vivado"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legal=True" in out
+        assert "fmax=" in out
+
+    def test_place_dsplacer_with_svg(self, tmp_path, capsys):
+        svg = tmp_path / "x.svg"
+        rc = main(
+            [
+                "place",
+                "--suite",
+                "ismartdnn",
+                "--scale",
+                "0.02",
+                "--tool",
+                "dsplacer",
+                "--svg",
+                str(svg),
+            ]
+        )
+        assert rc == 0
+        assert svg.exists()
+        assert "legal=True" in capsys.readouterr().out
+
+    def test_report_prints_paths(self, capsys):
+        rc = main(["report", "--suite", "ismartdnn", "--scale", "0.02", "--paths", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "path 1" in out
+
+    def test_experiment_table1_hint(self, capsys):
+        rc = main(["experiment", "table2"])
+        assert rc == 1  # points at the benchmark harness

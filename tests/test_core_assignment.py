@@ -1,0 +1,142 @@
+"""Linearized MCF assignment tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import build_dsp_graph, prune_control_dsps
+from repro.core.placement import AssignmentConfig, DatapathDSPAssigner
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement
+
+
+def _two_dsp_netlist():
+    nl = Netlist("a")
+    anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(100.0, 100.0))
+    d0 = nl.add_cell("d0", CellType.DSP, is_datapath=True)
+    d1 = nl.add_cell("d1", CellType.DSP, is_datapath=True)
+    nl.add_net("in", anchor, [d0])
+    nl.add_net("c", d0, [d1])
+    nl.add_macro([d0, d1])
+    return nl, d0, d1
+
+
+@pytest.fixture()
+def assigner_setup(small_dev):
+    nl, d0, d1 = _two_dsp_netlist()
+    graph = build_dsp_graph(nl)
+    return nl, small_dev, graph, [d0, d1]
+
+
+class TestAssignerBasics:
+    def test_assigns_all(self, assigner_setup):
+        nl, dev, graph, dsps = assigner_setup
+        a = DatapathDSPAssigner(nl, dev, graph, dsps, AssignmentConfig(max_iterations=4))
+        result, iters = a.solve(Placement(nl, dev))
+        assert set(result) == set(dsps)
+        assert len(set(result.values())) == len(dsps)
+        assert 1 <= iters <= 4
+
+    def test_sites_near_anchor(self, assigner_setup):
+        """The wirelength term should pull d0 toward its fixed anchor."""
+        nl, dev, graph, dsps = assigner_setup
+        cfg = AssignmentConfig(lam=0.0, eta=0.0, max_iterations=4)
+        a = DatapathDSPAssigner(nl, dev, graph, dsps, cfg)
+        result, _ = a.solve(Placement(nl, dev))
+        site_xy = dev.site_xy("DSP")
+        d = np.abs(site_xy[result[dsps[0]]] - [100.0, 100.0]).sum()
+        all_d = np.abs(site_xy - [100.0, 100.0]).sum(axis=1)
+        assert d <= np.partition(all_d, 3)[3] + 1e-9  # within the 4 closest
+
+    def test_empty_dsps_rejected(self, assigner_setup):
+        nl, dev, graph, _ = assigner_setup
+        with pytest.raises(ValueError):
+            DatapathDSPAssigner(nl, dev, graph, [])
+
+    def test_too_many_dsps_rejected(self, small_dev):
+        nl = Netlist("big")
+        anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+        dsps = [nl.add_cell(f"d{i}", CellType.DSP) for i in range(small_dev.n_dsp + 1)]
+        nl.add_net("n", anchor, [dsps[0]])
+        graph = build_dsp_graph(nl, paths=[])
+        with pytest.raises(ValueError, match="exceed"):
+            DatapathDSPAssigner(nl, small_dev, graph, dsps)
+
+    def test_all_engines_agree(self, assigner_setup):
+        """MCF, Hungarian and auction solve the same assignment optimally."""
+        nl, dev, graph, dsps = assigner_setup
+        place = Placement(nl, dev)
+        engines = {
+            "mcf": AssignmentConfig(engine="mcf", max_iterations=1, candidate_k=dev.n_dsp),
+            "lsa": AssignmentConfig(engine="lsa", max_iterations=1),
+            "auction": AssignmentConfig(engine="auction", max_iterations=1),
+        }
+        costs = {}
+        for name, cfg in engines.items():
+            a = DatapathDSPAssigner(nl, dev, graph, dsps, cfg)
+            cost = a.cost_matrix(place, None)
+            sites = a._solve_once(cost, None)
+            costs[name] = float(cost[np.arange(len(dsps)), sites].sum())
+        assert costs["mcf"] == pytest.approx(costs["lsa"], abs=1e-9)
+        assert costs["auction"] == pytest.approx(costs["lsa"], abs=1e-4)
+
+
+class TestAngleTerm:
+    def test_datapath_angle_orders_chain(self, small_dev):
+        """With a dominant λ, the DSP-graph predecessor must land at a site
+        with smaller cos θ (closer to vertical above the PS) than the
+        successor (paper eq. 6)."""
+        nl, d0, d1 = _two_dsp_netlist()
+        graph = build_dsp_graph(nl)
+        cfg = AssignmentConfig(lam=1e6, eta=0.0, wl_scale=1e-9, max_iterations=3)
+        a = DatapathDSPAssigner(nl, small_dev, graph, [d0, d1], cfg)
+        result, _ = a.solve(Placement(nl, small_dev))
+        xy = small_dev.site_xy("DSP")
+
+        def cos(s):
+            x, y = xy[s]
+            return x / np.hypot(x, y)
+
+        assert cos(result[d0]) <= cos(result[d1]) + 1e-9
+
+    def test_angle_coefficient_signs(self, assigner_setup):
+        nl, dev, graph, dsps = assigner_setup
+        a = DatapathDSPAssigner(nl, dev, graph, dsps, AssignmentConfig(lam=100.0))
+        # d0 is a pure predecessor (+λ), d1 a pure successor (−λ)
+        assert a._angle_coef[0] == pytest.approx(100.0)
+        assert a._angle_coef[1] == pytest.approx(-100.0)
+
+
+class TestCascadeTerm:
+    def test_eta_pulls_pairs_together(self, small_dev):
+        nl, d0, d1 = _two_dsp_netlist()
+        graph = build_dsp_graph(nl)
+        cfg = AssignmentConfig(lam=0.0, eta=1e5, wl_scale=1e-9, max_iterations=6)
+        a = DatapathDSPAssigner(nl, small_dev, graph, [d0, d1], cfg)
+        result, _ = a.solve(Placement(nl, small_dev))
+        # successor should sit exactly one site above the predecessor
+        assert result[d1] == result[d0] + 1
+
+    def test_convergence_stops_early(self, assigner_setup):
+        nl, dev, graph, dsps = assigner_setup
+        cfg = AssignmentConfig(max_iterations=50)
+        a = DatapathDSPAssigner(nl, dev, graph, dsps, cfg)
+        _, iters = a.solve(Placement(nl, dev))
+        assert iters < 50
+
+
+class TestOnGeneratedDesign:
+    def test_full_extraction_to_assignment(self, mini_accel, small_dev):
+        from repro.core.extraction import iddfs_dsp_paths
+
+        paths = iddfs_dsp_paths(mini_accel)
+        graph = build_dsp_graph(mini_accel, paths)
+        flags = {i: bool(mini_accel.cells[i].is_datapath) for i in mini_accel.dsp_indices()}
+        dgraph = prune_control_dsps(graph, flags)
+        dsps = sorted(dgraph.nodes)
+        from repro.placers import VivadoLikePlacer
+
+        place = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        a = DatapathDSPAssigner(mini_accel, small_dev, dgraph, dsps, AssignmentConfig(max_iterations=6))
+        result, _ = a.solve(place.copy())
+        assert set(result) == set(dsps)
+        assert len(set(result.values())) == len(dsps)

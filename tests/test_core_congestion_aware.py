@@ -1,0 +1,71 @@
+"""Congestion-aware assignment extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.core.extraction import build_dsp_graph
+from repro.core.placement import AssignmentConfig, DatapathDSPAssigner
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement
+
+
+@pytest.fixture()
+def setup(small_dev):
+    nl = Netlist("cong")
+    anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(100.0, 100.0))
+    d = nl.add_cell("d0", CellType.DSP, is_datapath=True)
+    nl.add_net("in", anchor, [d])
+    graph = build_dsp_graph(nl, paths=[])
+    return nl, d, graph
+
+
+class TestCongestionTerm:
+    def test_map_sampling(self, setup, small_dev):
+        nl, d, graph = setup
+        a = DatapathDSPAssigner(nl, small_dev, graph, [d], AssignmentConfig(congestion_weight=1.0))
+        cong = np.zeros((4, 4))
+        cong[0, 0] = 3.0  # bottom-left quadrant overloaded (util 3x)
+        a.set_congestion_map(cong)
+        assert a._site_congestion.max() == pytest.approx(2.0)
+        # only sites in the bottom-left quadrant carry the surcharge
+        xy = small_dev.site_xy("DSP")
+        in_bin = (xy[:, 0] < small_dev.width / 4) & (xy[:, 1] < small_dev.height / 4)
+        assert np.all((a._site_congestion > 0) == in_bin)
+
+    def test_penalty_moves_dsp_out(self, setup, small_dev):
+        nl, d, graph = setup
+        cong = np.zeros((2, 2))
+        cong[0, 0] = 10.0  # anchor's quadrant is jammed
+        base_cfg = AssignmentConfig(lam=0.0, eta=0.0, max_iterations=2)
+        a0 = DatapathDSPAssigner(nl, small_dev, graph, [d], base_cfg)
+        r0, _ = a0.solve(Placement(nl, small_dev))
+        cfg = AssignmentConfig(lam=0.0, eta=0.0, max_iterations=2, congestion_weight=1e6)
+        a1 = DatapathDSPAssigner(nl, small_dev, graph, [d], cfg)
+        a1.set_congestion_map(cong)
+        r1, _ = a1.solve(Placement(nl, small_dev))
+        xy = small_dev.site_xy("DSP")
+        assert xy[r0[d], 0] < small_dev.width / 2  # wirelength wants bottom-left
+        s = r1[d]
+        outside = xy[s, 0] >= small_dev.width / 2 or xy[s, 1] >= small_dev.height / 2
+        assert outside  # surcharge pushed it out of the jammed quadrant
+
+    def test_zero_weight_ignores_map(self, setup, small_dev):
+        nl, d, graph = setup
+        a = DatapathDSPAssigner(nl, small_dev, graph, [d], AssignmentConfig(lam=0.0, eta=0.0))
+        a.set_congestion_map(np.full((2, 2), 10.0))
+        p = Placement(nl, small_dev)
+        c0 = a.cost_matrix(p, None)
+        a._site_congestion = None
+        c1 = a.cost_matrix(p, None)
+        assert np.allclose(c0, c1)
+
+    def test_dsplacer_congestion_flow(self, mini_accel, small_dev):
+        placer = DSPlacer(
+            small_dev,
+            DSPlacerConfig(
+                identification="oracle", mcf_iterations=3, congestion_weight=50.0
+            ),
+        )
+        res = placer.place(mini_accel)
+        assert res.placement.is_legal()

@@ -1,0 +1,72 @@
+"""XDC constraint export/import round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.core.constraints import apply_xdc_constraints, dsp_constraints_to_xdc
+from repro.placers import Placement, VivadoLikePlacer
+
+
+@pytest.fixture(scope="module")
+def placed(mini_accel, small_dev):
+    return VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+
+
+class TestExport:
+    def test_one_line_per_dsp(self, placed, mini_accel):
+        xdc = dsp_constraints_to_xdc(placed)
+        n_dsp = len(mini_accel.dsp_indices())
+        assert xdc.count("set_property LOC DSP48E2_") == n_dsp
+
+    def test_subset_export(self, placed, mini_accel):
+        dsps = mini_accel.dsp_indices()[:3]
+        xdc = dsp_constraints_to_xdc(placed, dsps)
+        assert xdc.count("set_property") == 3
+        for i in dsps:
+            assert mini_accel.cells[i].name in xdc
+
+    def test_unplaced_dsp_rejected(self, mini_accel, small_dev):
+        p = Placement(mini_accel, small_dev)
+        with pytest.raises(ValueError, match="no DSP site"):
+            dsp_constraints_to_xdc(p, mini_accel.dsp_indices()[:1])
+
+
+class TestRoundTrip:
+    def test_sites_recovered(self, placed, mini_accel, small_dev):
+        xdc = dsp_constraints_to_xdc(placed)
+        back = apply_xdc_constraints(xdc, mini_accel, small_dev)
+        dsps = mini_accel.dsp_indices()
+        assert np.array_equal(back.site[dsps], placed.site[dsps])
+
+    def test_bad_site_rejected(self, mini_accel, small_dev):
+        name = mini_accel.cells[mini_accel.dsp_indices()[0]].name
+        xdc = f"set_property LOC DSP48E2_X0Y9999 [get_cells {{{name}}}]"
+        with pytest.raises(ValueError, match="does not exist"):
+            apply_xdc_constraints(xdc, mini_accel, small_dev)
+
+    def test_non_dsp_rejected(self, mini_accel, small_dev):
+        lut = next(c for c in mini_accel.cells if c.ctype.value == "LUT")
+        xdc = f"set_property LOC DSP48E2_X0Y0 [get_cells {{{lut.name}}}]"
+        with pytest.raises(ValueError, match="non-DSP"):
+            apply_xdc_constraints(xdc, mini_accel, small_dev)
+
+    def test_paper_flow_handoff(self, mini_accel, small_dev):
+        """DSPlacer exports constraints; a fresh baseline run honors them."""
+        res = DSPlacer(small_dev, DSPlacerConfig(identification="oracle", mcf_iterations=3)).place(
+            mini_accel
+        )
+        datapath = [
+            c.index
+            for c in mini_accel.cells
+            if c.ctype.is_dsp and res.placement.site[c.index] >= 0 and c.is_datapath
+        ]
+        xdc = dsp_constraints_to_xdc(res.placement, datapath)
+        seeded = apply_xdc_constraints(xdc, mini_accel, small_dev)
+        mask = np.array([not c.is_fixed for c in mini_accel.cells])
+        mask[datapath] = False
+        final = VivadoLikePlacer(seed=1).place(
+            mini_accel, small_dev, placement=seeded, movable_mask=mask
+        )
+        assert final.is_legal()
+        assert np.array_equal(final.site[datapath], res.placement.site[datapath])

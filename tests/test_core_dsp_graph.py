@@ -1,0 +1,106 @@
+"""DSP graph construction and control pruning."""
+
+import pytest
+
+from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
+from repro.core.extraction.dsp_graph import average_dsp_distances
+from repro.netlist import CellType, Netlist
+
+
+@pytest.fixture()
+def dsp_netlist():
+    nl = Netlist("g")
+    d = [nl.add_cell(f"d{i}", CellType.DSP, is_datapath=(i < 3)) for i in range(4)]
+    l = nl.add_cell("l", CellType.LUT)
+    nl.add_net("c0", d[0], [d[1]])
+    nl.add_net("c1", d[1], [d[2]])
+    nl.add_net("via", d[2], [l])
+    nl.add_net("via2", l, [d[3]])
+    nl.add_macro([d[0], d[1]])
+    return nl, d
+
+
+class TestBuildDSPGraph:
+    def test_all_dsps_are_nodes(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        assert set(g.nodes) == set(d)
+
+    def test_edges_carry_dist(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        assert g[d[0]][d[1]]["dist"] == 1
+        assert g[d[2]][d[3]]["dist"] == 2
+
+    def test_cascade_marked(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        assert g[d[0]][d[1]].get("cascade")
+        assert not g[d[1]][d[2]].get("cascade")
+
+    def test_weight_inverse_dist(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        assert g[d[2]][d[3]]["weight"] == pytest.approx(0.5)
+
+    def test_precomputed_paths_respected(self, dsp_netlist):
+        nl, d = dsp_netlist
+        paths = iddfs_dsp_paths(nl, max_depth=1)  # only direct links
+        g = build_dsp_graph(nl, paths)
+        assert not g.has_edge(d[2], d[3])
+
+    def test_cascade_pairs_forced_into_graph(self):
+        """Even when IDDFS finds nothing (depth 0-ish), cascade pairs stay."""
+        nl = Netlist("t")
+        a = nl.add_cell("a", CellType.DSP)
+        b = nl.add_cell("b", CellType.DSP)
+        anchor = nl.add_cell("l", CellType.LUT)
+        nl.add_net("x", anchor, [a])
+        nl.add_net("y", anchor, [b])
+        nl.add_macro([a, b])
+        g = build_dsp_graph(nl, paths=[])
+        assert g.has_edge(a, b) and g[a][b]["cascade"]
+
+
+class TestPrune:
+    def test_control_removed(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        flags = {i: bool(nl.cells[i].is_datapath) for i in nl.dsp_indices()}
+        pruned = prune_control_dsps(g, flags)
+        assert set(pruned.nodes) == set(d[:3])
+
+    def test_edges_to_control_dropped(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        pruned = prune_control_dsps(g, {d[0]: True, d[1]: True, d[2]: True, d[3]: False})
+        assert not pruned.has_edge(d[2], d[3])
+
+    def test_original_untouched(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        n_before = g.number_of_nodes()
+        prune_control_dsps(g, {i: False for i in nl.dsp_indices()})
+        assert g.number_of_nodes() == n_before
+
+    def test_missing_flags_treated_control(self, dsp_netlist):
+        nl, d = dsp_netlist
+        g = build_dsp_graph(nl)
+        pruned = prune_control_dsps(g, {})
+        assert pruned.number_of_nodes() == 0
+
+
+class TestAverageDistances:
+    def test_mean_over_reached(self, dsp_netlist):
+        nl, d = dsp_netlist
+        paths = iddfs_dsp_paths(nl)
+        avg = average_dsp_distances(nl, paths)
+        # d0 reaches only d1 (paths never pass through another DSP)
+        assert avg[d[0]] == pytest.approx(1.0)
+        # d2 reaches d3 through the LUT
+        assert avg[d[2]] == pytest.approx(2.0)
+
+    def test_unreaching_dsp_zero(self, dsp_netlist):
+        nl, d = dsp_netlist
+        avg = average_dsp_distances(nl, iddfs_dsp_paths(nl))
+        assert avg[d[3]] == 0.0

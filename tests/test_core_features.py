@@ -1,0 +1,113 @@
+"""Feature extraction tests against the paper's Definitions 1-3."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.extraction import FEATURE_NAMES, FeatureConfig, extract_node_features
+from repro.netlist import CellType, Netlist
+
+
+@pytest.fixture()
+def path_netlist():
+    """A -- B -- C -- D path (undirected view), driver-chain A→B→C→D."""
+    nl = Netlist("path")
+    cells = [nl.add_cell(n, CellType.LUT) for n in "abcd"]
+    for i in range(3):
+        nl.add_net(f"n{i}", cells[i], [cells[i + 1]])
+    return nl, cells
+
+
+class TestExactDefinitions:
+    def test_closeness_definition(self, path_netlist):
+        """Definition 2: closeness = 1 / Σ distances (networkx normalizes
+        by (n-1); we use its convention)."""
+        nl, cells = path_netlist
+        feats = extract_node_features(nl)
+        # node a: distances 1,2,3 → closeness = (n-1)/Σ = 3/6
+        assert feats[cells[0], 0] == pytest.approx(3 / 6)
+        # node b: distances 1,1,2 → 3/4
+        assert feats[cells[1], 0] == pytest.approx(3 / 4)
+
+    def test_eccentricity_definition(self, path_netlist):
+        """Definition 3: max shortest-path distance to any node."""
+        nl, cells = path_netlist
+        feats = extract_node_features(nl)
+        assert feats[cells[0], 2] == 3
+        assert feats[cells[1], 2] == 2
+
+    def test_betweenness_definition(self, path_netlist):
+        """Definition 1 (via networkx normalization on 4-node path)."""
+        nl, cells = path_netlist
+        feats = extract_node_features(nl)
+        g = nx.path_graph(4)
+        ref = nx.betweenness_centrality(g)
+        assert feats[cells[1], 5] == pytest.approx(ref[1])
+        assert feats[cells[0], 5] == pytest.approx(ref[0])
+
+    def test_degrees(self, path_netlist):
+        nl, cells = path_netlist
+        feats = extract_node_features(nl)
+        assert feats[cells[0], 3] == 0 and feats[cells[0], 4] == 1
+        assert feats[cells[1], 3] == 1 and feats[cells[1], 4] == 1
+        assert feats[cells[3], 3] == 1 and feats[cells[3], 4] == 0
+
+    def test_feedback_loop_membership(self):
+        nl = Netlist("loop")
+        a = nl.add_cell("a", CellType.LUT)
+        b = nl.add_cell("b", CellType.FF)
+        c = nl.add_cell("c", CellType.LUT)
+        nl.add_net("ab", a, [b])
+        nl.add_net("ba", b, [a])
+        nl.add_net("bc", b, [c])
+        feats = extract_node_features(nl)
+        assert feats[a, 1] == 1.0 and feats[b, 1] == 1.0
+        assert feats[c, 1] == 0.0
+
+    def test_avg_dsp_distance(self):
+        nl = Netlist("dspd")
+        d0 = nl.add_cell("d0", CellType.DSP)
+        l = nl.add_cell("l", CellType.LUT)
+        d1 = nl.add_cell("d1", CellType.DSP)
+        d2 = nl.add_cell("d2", CellType.DSP)
+        nl.add_net("a", d0, [l])
+        nl.add_net("b", l, [d1])
+        nl.add_net("c", d1, [d2])
+        feats = extract_node_features(nl)
+        # d0: distances to d1=2, d2=3 → mean 2.5
+        assert feats[d0, 6] == pytest.approx(2.5)
+        # non-DSP nodes carry 0
+        assert feats[l, 6] == 0.0
+
+    def test_feature_count_matches_paper(self):
+        assert len(FEATURE_NAMES) == 7
+
+
+class TestSampledApproximation:
+    def test_approx_close_to_exact(self):
+        """On a mid-size graph the sampled features should correlate with
+        the exact ones."""
+        rng = np.random.default_rng(0)
+        nl = Netlist("mid")
+        n = 120
+        cells = [
+            nl.add_cell(f"c{i}", CellType.DSP if i % 7 == 0 else CellType.LUT)
+            for i in range(n)
+        ]
+        for j in range(int(n * 2)):
+            a, b = rng.integers(0, n, 2)
+            if a != b:
+                nl.add_net(f"n{j}", int(a), [int(b)])
+        exact = extract_node_features(nl, FeatureConfig(exact_threshold=10_000))
+        approx = extract_node_features(
+            nl, FeatureConfig(exact_threshold=1, n_pivots=60, seed=1)
+        )
+        # closeness correlation
+        for col in (0, 2):
+            r = np.corrcoef(exact[:, col], approx[:, col])[0, 1]
+            assert r > 0.7, f"{FEATURE_NAMES[col]} corr {r}"
+
+    def test_shape_and_finiteness(self, mini_accel):
+        feats = extract_node_features(mini_accel, FeatureConfig(exact_threshold=1, n_pivots=8))
+        assert feats.shape == (len(mini_accel.cells), 7)
+        assert np.isfinite(feats).all()

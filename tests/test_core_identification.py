@@ -1,0 +1,75 @@
+"""Datapath identifier tests (oracle / heuristic / SVM / GCN wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import DatapathIdentifier, build_graph_sample
+from repro.core.extraction.identification import _two_means_split
+
+
+class TestBuildGraphSample:
+    def test_mask_is_dsps(self, mini_accel):
+        s = build_graph_sample(mini_accel)
+        dsps = set(mini_accel.dsp_indices())
+        assert set(np.flatnonzero(s.mask)) == dsps
+
+    def test_labels_match_ground_truth(self, mini_accel):
+        s = build_graph_sample(mini_accel)
+        for i in mini_accel.dsp_indices():
+            assert s.labels[i] == (1 if mini_accel.cells[i].is_datapath else 0)
+
+    def test_features_reused(self, mini_accel):
+        x = np.zeros((len(mini_accel.cells), 7))
+        s = build_graph_sample(mini_accel, features=x)
+        assert s.x is x
+
+
+class TestTwoMeansSplit:
+    def test_separates_clusters(self):
+        v = np.array([1.0, 2.0, 1.5, 10.0, 11.0])
+        thr = _two_means_split(v)
+        assert 2.0 < thr < 10.0
+
+    def test_degenerate_all_equal(self):
+        thr = _two_means_split(np.array([3.0, 3.0]))
+        assert thr > 3.0  # everything classified low-count (datapath)
+
+
+class TestIdentifiers:
+    def test_oracle_exact(self, mini_accel):
+        res = DatapathIdentifier(method="oracle").predict(mini_accel)
+        assert res.accuracy == 1.0
+        for i, flag in res.flags.items():
+            assert flag == bool(mini_accel.cells[i].is_datapath)
+
+    def test_heuristic_reasonable(self, mini_accel):
+        res = DatapathIdentifier(method="heuristic").predict(mini_accel)
+        assert res.accuracy >= 0.7
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            DatapathIdentifier(method="kmeans")
+
+    def test_gcn_requires_fit(self, mini_accel):
+        ident = DatapathIdentifier(method="gcn")
+        with pytest.raises(RuntimeError, match="fit"):
+            ident.predict(mini_accel, sample=build_graph_sample(mini_accel))
+
+    def test_svm_requires_fit(self, mini_accel):
+        ident = DatapathIdentifier(method="svm")
+        with pytest.raises(RuntimeError, match="fit"):
+            ident.predict(mini_accel, sample=build_graph_sample(mini_accel))
+
+    def test_svm_fit_predict(self, mini_accel):
+        s = build_graph_sample(mini_accel)
+        ident = DatapathIdentifier(method="svm", epochs=100).fit([s])
+        res = ident.predict(mini_accel, sample=s)
+        assert res.method == "svm"
+        assert 0.0 <= res.accuracy <= 1.0
+        assert res.n_datapath > 0
+
+    def test_gcn_fit_predict_same_graph(self, mini_accel):
+        s = build_graph_sample(mini_accel)
+        ident = DatapathIdentifier(method="gcn", epochs=40).fit([s])
+        res = ident.predict(mini_accel, sample=s)
+        assert res.accuracy >= 0.8  # trained on itself; should be high

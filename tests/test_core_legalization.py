@@ -1,0 +1,121 @@
+"""Cascade legalization tests: ILP inter-column + exact intra-column."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import CascadeLegalizer
+from repro.netlist import CellType, Netlist
+
+
+def _netlist_with_macros(chain_lens, n_singles=0):
+    nl = Netlist("leg")
+    anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+    first = None
+    for m, length in enumerate(chain_lens):
+        dsps = [nl.add_cell(f"m{m}d{i}", CellType.DSP, is_datapath=True) for i in range(length)]
+        if first is None:
+            first = dsps[0]
+        for a, b in zip(dsps, dsps[1:]):
+            nl.add_net(f"m{m}c{a}", a, [b])
+        nl.add_macro(dsps)
+    for s in range(n_singles):
+        nl.add_cell(f"s{s}", CellType.DSP, is_datapath=False)
+    nl.add_net("seed", anchor, [first if first is not None else 1])
+    return nl
+
+
+class TestLegalize:
+    def test_chains_land_consecutive(self, small_dev):
+        nl = _netlist_with_macros([3, 4])
+        desired = {
+            c.index: (200.0, 100.0 + 10 * c.index) for c in nl.cells if c.ctype.is_dsp
+        }
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        sites = small_dev.sites("DSP")
+        for m in nl.macros:
+            sids = [res.site_of[i] for i in m.dsps]
+            assert all(b == a + 1 for a, b in zip(sids, sids[1:]))
+            assert len({sites[s].col for s in sids}) == 1
+
+    def test_no_overlap(self, small_dev):
+        nl = _netlist_with_macros([3, 3, 2], n_singles=4)
+        rng = np.random.default_rng(0)
+        desired = {
+            c.index: tuple(rng.uniform([0, 0], [small_dev.width, small_dev.height]))
+            for c in nl.cells
+            if c.ctype.is_dsp
+        }
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        assert len(set(res.site_of.values())) == len(res.site_of)
+
+    def test_targets_respected_when_free(self, small_dev):
+        """A single chain already on legal consecutive sites stays put."""
+        nl = _netlist_with_macros([3])
+        ids = small_dev.column_site_ids("DSP", 1)
+        xy = small_dev.site_xy("DSP")
+        chain = nl.macros[0].dsps
+        desired = {c: tuple(xy[ids[4 + k]]) for k, c in enumerate(chain)}
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        assert [res.site_of[c] for c in chain] == [ids[4], ids[5], ids[6]]
+        assert res.total_displacement_um == pytest.approx(0.0)
+
+    def test_singles_and_chains_share_columns(self, small_dev):
+        nl = _netlist_with_macros([5], n_singles=3)
+        xy = small_dev.site_xy("DSP")
+        col0 = small_dev.column_site_ids("DSP", 0)
+        desired = {}
+        for c in nl.cells:
+            if c.ctype.is_dsp:
+                desired[c.index] = tuple(xy[col0[0]])  # everyone wants one spot
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        assert len(set(res.site_of.values())) == 8
+
+    def test_overfull_device_rejected(self, small_dev):
+        n = small_dev.n_dsp + 1
+        nl = Netlist("over")
+        anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+        dsps = [nl.add_cell(f"d{i}", CellType.DSP) for i in range(n)]
+        nl.add_net("seed", anchor, [dsps[0]])
+        desired = {i: (10.0, 10.0) for i in dsps}
+        with pytest.raises(ValueError, match="more DSPs"):
+            CascadeLegalizer(nl, small_dev).legalize(desired)
+
+    def test_uses_ilp_by_default(self, small_dev):
+        nl = _netlist_with_macros([3, 2])
+        desired = {c.index: (150.0, 150.0) for c in nl.cells if c.ctype.is_dsp}
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        assert res.used_ilp
+
+    def test_greedy_fallback_still_legal(self, small_dev):
+        nl = _netlist_with_macros([3, 2], n_singles=2)
+        desired = {c.index: (150.0, 150.0) for c in nl.cells if c.ctype.is_dsp}
+        res = CascadeLegalizer(nl, small_dev, max_ilp_nodes=0).legalize(desired)
+        assert not res.used_ilp
+        assert len(set(res.site_of.values())) == len(res.site_of)
+        sites = small_dev.sites("DSP")
+        for m in nl.macros:
+            sids = [res.site_of[i] for i in m.dsps]
+            assert all(b == a + 1 for a, b in zip(sids, sids[1:]))
+
+    def test_inter_column_displacement_optimal_small(self, small_dev):
+        """ILP picks the zero-displacement column when it has room."""
+        nl = _netlist_with_macros([4])
+        col_x = small_dev.kind_columns("DSP")[2].x
+        desired = {c: (col_x, 200.0 + 37.5 * k) for k, c in enumerate(nl.macros[0].dsps)}
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        sites = small_dev.sites("DSP")
+        assert all(sites[res.site_of[c]].x == col_x for c in nl.macros[0].dsps)
+
+    def test_capacity_saturation_full_columns(self, small_dev):
+        """Exactly device-capacity DSPs, mostly chains: still legal."""
+        col_sizes = [c.n_sites for c in small_dev.kind_columns("DSP")]
+        chains = [size for size in col_sizes]  # one full-column chain each
+        nl = _netlist_with_macros(chains)
+        rng = np.random.default_rng(1)
+        desired = {
+            c.index: tuple(rng.uniform([0, 0], [small_dev.width, small_dev.height]))
+            for c in nl.cells
+            if c.ctype.is_dsp
+        }
+        res = CascadeLegalizer(nl, small_dev).legalize(desired)
+        assert len(set(res.site_of.values())) == sum(chains)

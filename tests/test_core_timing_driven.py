@@ -1,0 +1,82 @@
+"""Timing-driven DSPlacer extension (slack-weighted assignment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.core.extraction import build_dsp_graph
+from repro.core.placement import AssignmentConfig, DatapathDSPAssigner
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement
+
+
+class TestSetCriticality:
+    @pytest.fixture()
+    def assigner(self, small_dev):
+        nl = Netlist("td")
+        anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(10.0, 10.0))
+        crit_ff = nl.add_cell("crit_ff", CellType.FF)
+        slow_ff = nl.add_cell("slow_ff", CellType.FF)
+        d = nl.add_cell("d", CellType.DSP, is_datapath=True)
+        nl.add_net("seed", anchor, [crit_ff, slow_ff])
+        nl.add_net("a", crit_ff, [d])
+        nl.add_net("b", slow_ff, [d])
+        graph = build_dsp_graph(nl, paths=[])
+        a = DatapathDSPAssigner(nl, small_dev, graph, [d], AssignmentConfig(lam=0.0, eta=0.0))
+        return nl, a, crit_ff, slow_ff, d
+
+    def test_criticality_scales_weights(self, assigner):
+        nl, a, crit_ff, slow_ff, d = assigner
+        slack = np.full(len(nl.cells), 10.0)
+        slack[crit_ff] = -1.0  # failing path through crit_ff
+        a.set_criticality(slack, period_ns=5.0, boost=3.0)
+        idx, val = a._neighbors[0]
+        base_idx, base_val = a._base_neighbors[0]
+        by_cell = dict(zip(idx, val))
+        base_by_cell = dict(zip(base_idx, base_val))
+        assert by_cell[crit_ff] > base_by_cell[crit_ff] * 2.5
+        assert by_cell[slow_ff] == pytest.approx(base_by_cell[slow_ff])
+
+    def test_nan_slack_neutral(self, assigner):
+        nl, a, crit_ff, slow_ff, d = assigner
+        slack = np.full(len(nl.cells), np.nan)
+        a.set_criticality(slack, period_ns=5.0)
+        idx, val = a._neighbors[0]
+        base_idx, base_val = a._base_neighbors[0]
+        assert np.allclose(val, base_val)
+
+    def test_clear_restores(self, assigner):
+        nl, a, crit_ff, slow_ff, d = assigner
+        slack = np.full(len(nl.cells), -2.0)
+        a.set_criticality(slack, period_ns=5.0)
+        a.clear_criticality()
+        idx, val = a._neighbors[0]
+        base_idx, base_val = a._base_neighbors[0]
+        assert np.allclose(val, base_val)
+
+    def test_pull_toward_critical_neighbor(self, assigner, small_dev):
+        nl, a, crit_ff, slow_ff, d = assigner
+        p = Placement(nl, small_dev)
+        p.xy[crit_ff] = (small_dev.width - 10.0, small_dev.height - 10.0)
+        p.xy[slow_ff] = (10.0, 10.0)
+        # without criticality: equidistant pull → site near the middle-ish;
+        # with crit_ff failing: site should move toward crit_ff's corner
+        r0, _ = a.solve(p.copy())
+        slack = np.full(len(nl.cells), 10.0)
+        slack[crit_ff] = -3.0
+        a.set_criticality(slack, period_ns=5.0, boost=10.0)
+        r1, _ = a.solve(p.copy())
+        xy = small_dev.site_xy("DSP")
+        d0 = np.abs(xy[r0[3]] - p.xy[crit_ff]).sum()
+        d1 = np.abs(xy[r1[3]] - p.xy[crit_ff]).sum()
+        assert d1 <= d0
+
+
+class TestTimingDrivenFlow:
+    def test_flow_runs_and_is_legal(self, mini_accel, small_dev):
+        placer = DSPlacer(
+            small_dev,
+            DSPlacerConfig(identification="oracle", mcf_iterations=3, timing_driven=True),
+        )
+        res = placer.place(mini_accel)
+        assert res.placement.is_legal()

@@ -1,0 +1,107 @@
+"""Evaluation harness tests: tables, visualization, profiling, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
+from repro.eval import ExperimentSettings, render_table, run_table1
+from repro.eval.profiling import RuntimeBreakdown
+from repro.eval.tables import render_csv
+from repro.eval.visualization import layout_metrics, placement_to_svg
+from repro.placers import VivadoLikePlacer
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_render_with_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_alignment(self):
+        out = render_table(["col"], [[123456], [1]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_csv(self):
+        out = render_csv(["a", "b"], [[1, 2]])
+        assert out.splitlines()[1] == "1,2"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+
+class TestVisualization:
+    @pytest.fixture(scope="class")
+    def placed(self, mini_accel, small_dev):
+        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        paths = iddfs_dsp_paths(mini_accel)
+        g = build_dsp_graph(mini_accel, paths)
+        flags = {i: bool(mini_accel.cells[i].is_datapath) for i in mini_accel.dsp_indices()}
+        return p, prune_control_dsps(g, flags)
+
+    def test_svg_written(self, placed, tmp_path):
+        p, g = placed
+        path = tmp_path / "layout.svg"
+        svg = placement_to_svg(p, g, path=path, title="test")
+        assert path.exists()
+        assert svg.startswith("<svg")
+        assert "</svg>" in svg
+        assert "test" in svg
+
+    def test_svg_contains_dsp_marks(self, placed):
+        p, g = placed
+        svg = placement_to_svg(p, g)
+        assert svg.count("#d62728") >= p.netlist.stats().n_dsp  # datapath color used
+
+    def test_layout_metrics_ranges(self, placed):
+        p, g = placed
+        m = layout_metrics(p, g)
+        assert 0.0 <= m.cascade_adjacent_frac <= 1.0
+        assert -1.0 <= m.angle_monotonicity <= 1.0
+        assert m.mean_datapath_edge_um >= 0
+        assert 0.0 <= m.dsp_bbox_area_frac <= 1.0
+
+    def test_legal_placement_cascades_adjacent(self, placed):
+        p, g = placed
+        assert layout_metrics(p, g).cascade_adjacent_frac == 1.0
+
+
+class TestProfiling:
+    def test_percentages_sum_to_100(self):
+        rb = RuntimeBreakdown("x", {"a": 1.0, "b": 3.0})
+        assert sum(rb.percentages.values()) == pytest.approx(100.0)
+
+    def test_rows_sorted(self):
+        rb = RuntimeBreakdown("x", {"a": 1.0, "b": 3.0, "c": 2.0})
+        rows = rb.rows()
+        assert [r[0] for r in rows] == ["b", "c", "a"]
+
+    def test_total(self):
+        assert RuntimeBreakdown("x", {"a": 1.5, "b": 0.5}).total == 2.0
+
+
+class TestExperimentRunners:
+    def test_table1_full_scale_counts(self):
+        rows = run_table1()
+        assert len(rows) == 5
+        by_name = {r["design"]: r for r in rows}
+        assert by_name["iSmartDNN"]["dsp"] == 197
+        assert by_name["SkrSkr-3"]["dsp"] == 1431
+        assert by_name["SkrSkr-1"]["freq_mhz"] == 195.0
+        # DSP% ascends across the SkrSkr family like the paper's 37/68/83
+        assert (
+            by_name["SkrSkr-1"]["dsp_pct"]
+            < by_name["SkrSkr-2"]["dsp_pct"]
+            < by_name["SkrSkr-3"]["dsp_pct"]
+        )
+
+    def test_settings_env_defaults(self):
+        s = ExperimentSettings()
+        assert 0 < s.scale <= 1.0
+        assert len(s.suites) == 5

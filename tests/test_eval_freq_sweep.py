@@ -1,0 +1,34 @@
+"""Frequency-sweep experiment runner (tiny scale)."""
+
+import pytest
+
+from repro.eval import ExperimentSettings
+from repro.eval.experiments import run_freq_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    settings = ExperimentSettings(
+        scale=0.04, suites=("ismartdnn",), identification="oracle", gcn_epochs=3
+    )
+    return run_freq_sweep(settings, suite="ismartdnn", n_points=5)
+
+
+class TestFreqSweep:
+    def test_all_tools_swept(self, sweep):
+        assert set(sweep.wns_by_tool) == {"vivado", "amf", "dsplacer"}
+        assert len(sweep.freqs_mhz) == 5
+
+    def test_wns_monotone_in_frequency(self, sweep):
+        for curve in sweep.wns_by_tool.values():
+            assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_band_brackets_zero_crossing(self, sweep):
+        """The sweep band is chosen so each tool crosses zero inside it."""
+        for tool, curve in sweep.wns_by_tool.items():
+            assert curve[0] > 0 or curve[-1] < 0  # not a degenerate band
+
+    def test_break_frequency(self, sweep):
+        for tool in sweep.wns_by_tool:
+            bf = sweep.break_frequency(tool)
+            assert sweep.freqs_mhz[0] <= bf <= sweep.freqs_mhz[-1] or bf == 0.0

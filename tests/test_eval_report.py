@@ -1,0 +1,39 @@
+"""Aggregate report generator."""
+
+from repro.eval.report import SECTIONS, build_report, collect_results, write_report
+
+
+class TestReport:
+    def test_empty_dir(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "No artifacts" in text
+
+    def test_collects_known_artifacts(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("T1 CONTENT")
+        (tmp_path / "unknown.txt").write_text("IGNORED")
+        got = collect_results(tmp_path)
+        assert got == {"table1": "T1 CONTENT"}
+
+    def test_report_sections_ordered(self, tmp_path):
+        (tmp_path / "table2.txt").write_text("T2")
+        (tmp_path / "table1.txt").write_text("T1")
+        text = build_report(tmp_path)
+        assert text.index("Table I —") < text.index("Table II —")
+        assert "```\nT1\n```" in text
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "fig8.txt").write_text("F8")
+        out = write_report(tmp_path, tmp_path / "report.md")
+        assert out.exists()
+        assert "F8" in out.read_text()
+
+    def test_all_bench_artifacts_have_sections(self):
+        # every bench emit() name must be mapped
+        import pathlib
+        import re
+
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        names = set()
+        for f in bench_dir.glob("bench_*.py"):
+            names |= set(re.findall(r'emit\(\s*"(\w+)"', f.read_text()))
+        assert names <= set(SECTIONS), names - set(SECTIONS)

@@ -1,0 +1,74 @@
+"""Unit tests for device builders."""
+
+import pytest
+
+from repro.fpga import build_device, scaled_zcu104, small_device, zcu104
+
+
+class TestZCU104:
+    @pytest.fixture(scope="class")
+    def dev(self):
+        return zcu104()
+
+    def test_dsp_count_order_of_magnitude(self, dev):
+        # 1728-site grid minus the PS-corner clipping
+        assert 1600 <= dev.n_dsp <= 1728
+
+    def test_dsp_columns(self, dev):
+        assert dev.n_dsp_columns == 12
+
+    def test_clb_capacity_fits_largest_benchmark(self, dev):
+        # SkrSkr-2: ~70k LUT + 64k FF + CARRY/LUTRAM
+        assert dev.n_sites("CLB") * dev.clb_capacity > 150_000
+
+    def test_ps_bottom_left(self, dev):
+        assert dev.ps.x0 == 0.0 and dev.ps.y0 == 0.0
+        assert dev.ps.x1 < dev.width / 2
+
+    def test_dsp_row_pitch(self, dev):
+        col = dev.kind_columns("DSP")[-1]  # away from the PS clipping
+        diffs = col.ys[1:] - col.ys[:-1]
+        assert diffs.min() == pytest.approx(diffs.max())
+
+
+class TestScaled:
+    def test_scale_one_is_zcu104(self):
+        assert scaled_zcu104(1.0).name == "zcu104"
+
+    def test_quarter_scale_capacity(self):
+        dev = scaled_zcu104(0.25)
+        assert 300 <= dev.n_dsp <= 600
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_zcu104(0.0)
+        with pytest.raises(ValueError):
+            scaled_zcu104(1.5)
+
+    def test_aspect_preserved_roughly(self):
+        full, quarter = zcu104(), scaled_zcu104(0.25)
+        assert quarter.width / quarter.height == pytest.approx(
+            full.width / full.height, rel=0.35
+        )
+
+
+class TestSmallDevice:
+    def test_configurable_dsp_grid(self):
+        dev = small_device(n_dsp_cols=2, dsp_rows=10, with_ps=False)
+        assert dev.n_dsp == 20
+        assert dev.n_dsp_columns == 2
+
+    def test_validates(self):
+        small_device().validate()
+
+
+class TestBuildDevice:
+    def test_all_kinds_present(self):
+        dev = build_device("t", n_clb_cols=6, n_dsp_cols=2, n_bram_cols=1, n_clb_rows=40)
+        assert dev.n_sites("CLB") > 0
+        assert dev.n_sites("DSP") > 0
+        assert dev.n_sites("BRAM") > 0
+
+    def test_width_matches_columns(self):
+        dev = build_device("t", n_clb_cols=6, n_dsp_cols=2, n_bram_cols=1, n_clb_rows=40)
+        assert dev.width == pytest.approx((6 + 2 + 1) * 60.0)

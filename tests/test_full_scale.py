@@ -1,0 +1,43 @@
+"""Full-scale (Table I-sized) flow — opt-in, minutes of runtime.
+
+Run with ``REPRO_FULL=1 pytest tests/test_full_scale.py``. The default
+suite skips these so `pytest tests/` stays fast; the reduced-scale
+equivalents in test_integration.py cover the same code paths.
+"""
+
+import os
+
+import pytest
+
+from repro.accelgen import generate_suite
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.fpga import zcu104
+from repro.placers import VivadoLikePlacer
+from repro.router import GlobalRouter
+from repro.timing import StaticTimingAnalyzer, max_frequency
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL") != "1",
+    reason="full-scale run (minutes); set REPRO_FULL=1 to enable",
+)
+
+
+def test_full_scale_ismartdnn_flow():
+    device = zcu104()
+    netlist = generate_suite("ismartdnn", scale=1.0, device=device)
+    st = netlist.stats(device.n_dsp)
+    assert st.n_dsp == 197 and st.n_lut == 53503
+
+    baseline = VivadoLikePlacer(seed=0).place(netlist, device)
+    assert baseline.is_legal()
+
+    sta = StaticTimingAnalyzer(netlist)
+    router = GlobalRouter()
+    f_base = max_frequency(sta, baseline, router.route(baseline))
+
+    result = DSPlacer(
+        device, DSPlacerConfig(identification="heuristic", seed=0)
+    ).place(netlist, initial_placement=baseline)
+    assert result.placement.is_legal()
+    f_dsp = max_frequency(sta, result.placement, router.route(result.placement))
+    assert f_dsp >= f_base * 0.97

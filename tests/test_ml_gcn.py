@@ -1,0 +1,154 @@
+"""GCN tests: normalization, shapes, gradient checks, dropout."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import GCN, GCNConfig, normalized_adjacency, weighted_cross_entropy
+from repro.ml.losses import class_weights_from_labels
+
+
+@pytest.fixture()
+def toy():
+    rng = np.random.default_rng(3)
+    n, d = 10, 4
+    a = sp.csr_matrix((rng.random((n, n)) < 0.3).astype(float))
+    a = ((a + a.T) > 0).astype(np.float64)
+    x = rng.normal(size=(n, d))
+    labels = rng.integers(0, 2, n)
+    return normalized_adjacency(sp.csr_matrix(a)), x, labels
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric(self, toy):
+        a_hat, _, _ = toy
+        assert abs(a_hat - a_hat.T).max() < 1e-12
+
+    def test_isolated_node_self_loop(self):
+        a = sp.csr_matrix((3, 3))
+        a_hat = normalized_adjacency(a)
+        assert np.allclose(a_hat.toarray(), np.eye(3))
+
+    def test_row_scale(self):
+        # complete graph on 2: A+I = all-ones; deg=2 → entries 1/2
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        a_hat = normalized_adjacency(a).toarray()
+        assert np.allclose(a_hat, 0.5)
+
+
+class TestForward:
+    def test_probs_are_distributions(self, toy):
+        a_hat, x, _ = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1]))
+        probs, _ = model.forward(x, a_hat)
+        assert probs.shape == (x.shape[0], 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_architecture_paper_defaults(self):
+        model = GCN(GCNConfig(in_dim=7))
+        # 2 conv layers with 32 units, then FC 32→16→2
+        assert model.params["conv0_W"].shape == (7, 32)
+        assert model.params["conv1_W"].shape == (32, 32)
+        assert model.params["fc0_W"].shape == (32, 32)
+        assert model.params["fc1_W"].shape == (32, 16)
+        assert model.params["fc2_W"].shape == (16, 2)
+
+    def test_mlp_degenerate(self, toy):
+        """n_conv=0 yields a pure MLP whose output ignores the graph."""
+        a_hat, x, _ = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1], n_conv=0))
+        assert not any(k.startswith("conv") for k in model.params)
+        import scipy.sparse as sp
+
+        p1, _ = model.forward(x, a_hat)
+        p2, _ = model.forward(x, sp.eye(x.shape[0], format="csr"))
+        assert np.allclose(p1, p2)
+
+    def test_single_conv_layer(self, toy):
+        a_hat, x, _ = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1], n_conv=1))
+        probs, _ = model.forward(x, a_hat)
+        assert probs.shape == (x.shape[0], 2)
+
+    def test_deterministic_inference(self, toy):
+        a_hat, x, _ = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1]))
+        p1, _ = model.forward(x, a_hat)
+        p2, _ = model.forward(x, a_hat)
+        assert np.array_equal(p1, p2)
+
+    def test_dropout_varies_training_forward(self, toy):
+        a_hat, x, _ = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1], dropout=0.5))
+        rng = np.random.default_rng(0)
+        p1, _ = model.forward(x, a_hat, training=True, rng=rng)
+        p2, _ = model.forward(x, a_hat, training=True, rng=rng)
+        assert not np.array_equal(p1, p2)
+
+    def test_state_dict_roundtrip(self, toy):
+        a_hat, x, _ = toy
+        m1 = GCN(GCNConfig(in_dim=x.shape[1], seed=0))
+        m2 = GCN(GCNConfig(in_dim=x.shape[1], seed=9))
+        m2.load_state_dict(m1.state_dict())
+        p1, _ = m1.forward(x, a_hat)
+        p2, _ = m2.forward(x, a_hat)
+        assert np.allclose(p1, p2)
+
+
+class TestBackward:
+    def test_gradient_check(self, toy):
+        """Analytic gradients match central differences to 1e-5."""
+        a_hat, x, labels = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1], hidden=6, fc_dims=(5, 4), dropout=0.0, seed=1))
+        mask = np.ones(len(labels), dtype=bool)
+        cw = class_weights_from_labels(labels)
+
+        probs, cache = model.forward(x, a_hat)
+        _, dlog = weighted_cross_entropy(probs, labels, cw, mask)
+        grads = model.backward(cache, dlog)
+
+        rng = np.random.default_rng(0)
+        eps = 1e-6
+        for key, p in model.params.items():
+            flat_ids = rng.choice(p.size, size=min(4, p.size), replace=False)
+            for fid in flat_ids:
+                idx = np.unravel_index(fid, p.shape)
+                orig = p[idx]
+                p[idx] = orig + eps
+                l1, _ = weighted_cross_entropy(
+                    model.forward(x, a_hat)[0], labels, cw, mask
+                )
+                p[idx] = orig - eps
+                l2, _ = weighted_cross_entropy(
+                    model.forward(x, a_hat)[0], labels, cw, mask
+                )
+                p[idx] = orig
+                num = (l1 - l2) / (2 * eps)
+                rel = abs(num - grads[key][idx]) / max(1e-8, abs(num) + abs(grads[key][idx]))
+                assert rel < 1e-4, f"{key}{idx}: {num} vs {grads[key][idx]}"
+
+    def test_grads_cover_all_params(self, toy):
+        a_hat, x, labels = toy
+        model = GCN(GCNConfig(in_dim=x.shape[1]))
+        probs, cache = model.forward(x, a_hat)
+        _, dlog = weighted_cross_entropy(probs, labels)
+        grads = model.backward(cache, dlog)
+        assert set(grads) == set(model.params)
+        for key in grads:
+            assert grads[key].shape == model.params[key].shape
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 20), st.integers(1, 6), st.integers(0, 10_000))
+def test_forward_on_random_graphs(n, d, seed):
+    """Property: forward never produces NaN and rows always sum to 1."""
+    rng = np.random.default_rng(seed)
+    a = sp.csr_matrix((rng.random((n, n)) < 0.4).astype(float))
+    a_hat = normalized_adjacency(((a + a.T) > 0).astype(np.float64).tocsr())
+    x = rng.normal(size=(n, d)) * 10
+    model = GCN(GCNConfig(in_dim=d, seed=seed % 7))
+    probs, _ = model.forward(x, a_hat)
+    assert np.isfinite(probs).all()
+    assert np.allclose(probs.sum(axis=1), 1.0)

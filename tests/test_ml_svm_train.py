@@ -1,0 +1,115 @@
+"""SVM and GCN training-harness tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml import LinearSVM, normalized_adjacency
+from repro.ml.train import GraphSample, leave_one_out, train_gcn
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(0)
+    n = 100
+    labels = (np.arange(n) >= n // 2).astype(int)
+    x = np.column_stack([labels * 2.0 + rng.normal(scale=0.2, size=n), rng.normal(size=n)])
+    return x, labels
+
+
+class TestLinearSVM:
+    def test_fits_separable(self, separable):
+        x, y = separable
+        svm = LinearSVM(epochs=200).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.97
+
+    def test_decision_sign_matches_predict(self, separable):
+        x, y = separable
+        svm = LinearSVM(epochs=100).fit(x, y)
+        assert np.array_equal(svm.predict(x), (svm.decision_function(x) >= 0).astype(int))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_class_weighting_helps_minority_recall(self):
+        rng = np.random.default_rng(1)
+        n_maj, n_min = 190, 10
+        x = np.vstack(
+            [
+                rng.normal(0.0, 1.0, (n_maj, 1)),
+                rng.normal(1.2, 1.0, (n_min, 1)),  # overlapping minority
+            ]
+        )
+        y = np.array([0] * n_maj + [1] * n_min)
+        weighted = LinearSVM(epochs=300, class_weighted=True).fit(x, y)
+        unweighted = LinearSVM(epochs=300, class_weighted=False).fit(x, y)
+        rec_w = (weighted.predict(x[y == 1]) == 1).mean()
+        rec_u = (unweighted.predict(x[y == 1]) == 1).mean()
+        assert rec_w >= rec_u
+
+
+def _community_sample(seed, n=80, name="toy"):
+    rng = np.random.default_rng(seed)
+    labels = (np.arange(n) >= n // 2).astype(int)
+    p = np.where(labels[:, None] == labels[None, :], 0.15, 0.01)
+    a = (rng.random((n, n)) < p).astype(float)
+    a = ((a + a.T) > 0).astype(np.float64)
+    np.fill_diagonal(a, 0)
+    x = np.column_stack([labels + rng.normal(size=n), rng.normal(size=n)])
+    return GraphSample(
+        a_hat=normalized_adjacency(sp.csr_matrix(a)),
+        x=x,
+        labels=labels,
+        mask=np.ones(n, dtype=bool),
+        name=name,
+    )
+
+
+class TestTrainGCN:
+    def test_learns_community_task(self):
+        s = _community_sample(0)
+        res = train_gcn([s], [s], epochs=100, seed=0)
+        assert res.final_test_accuracy > 0.9
+
+    def test_loss_decreases(self):
+        s = _community_sample(1)
+        res = train_gcn([s], epochs=60, seed=0)
+        assert res.loss_curve[-1] < res.loss_curve[0]
+
+    def test_curves_recorded(self):
+        s = _community_sample(2)
+        res = train_gcn([s], [s], epochs=10, seed=0)
+        assert len(res.train_curve) == 10
+        assert len(res.test_curve) == 10
+
+    def test_predict_applies_normalization(self):
+        s = _community_sample(3)
+        res = train_gcn([s], epochs=50, seed=0)
+        pred = res.predict(s)
+        assert (pred[s.mask] == s.labels[s.mask]).mean() > 0.85
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            train_gcn([], epochs=1)
+
+
+class TestLeaveOneOut:
+    def test_folds_cover_all(self):
+        samples = [_community_sample(i, name=f"g{i}") for i in range(3)]
+        res = leave_one_out(samples, epochs=15)
+        assert set(res) == {"g0", "g1", "g2"}
+
+    def test_needs_two_graphs(self):
+        with pytest.raises(ValueError):
+            leave_one_out([_community_sample(0)], epochs=1)
+
+    def test_generalizes_across_graphs(self):
+        samples = [_community_sample(i, name=f"g{i}") for i in range(4)]
+        res = leave_one_out(samples, epochs=80)
+        accs = [r.final_test_accuracy for r in res.values()]
+        assert np.mean(accs) > 0.8

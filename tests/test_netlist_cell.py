@@ -1,0 +1,58 @@
+"""Unit tests for repro.netlist.cell."""
+
+import pytest
+
+from repro.netlist.cell import Cell, CellType
+
+
+class TestCellType:
+    def test_is_dsp(self):
+        assert CellType.DSP.is_dsp
+        assert not CellType.LUT.is_dsp
+
+    def test_storage_kinds(self):
+        assert CellType.FF.is_storage
+        assert CellType.BRAM.is_storage
+        assert CellType.LUTRAM.is_storage
+
+    def test_non_storage_kinds(self):
+        for kind in (CellType.LUT, CellType.CARRY, CellType.DSP, CellType.IO, CellType.PS):
+            assert not kind.is_storage
+
+    def test_fixed_kinds(self):
+        assert CellType.IO.is_fixed
+        assert CellType.PS.is_fixed
+        assert not CellType.DSP.is_fixed
+
+    def test_site_kind_mapping(self):
+        assert CellType.DSP.site_kind == "DSP"
+        assert CellType.BRAM.site_kind == "BRAM"
+        assert CellType.LUT.site_kind == "CLB"
+        assert CellType.LUTRAM.site_kind == "CLB"
+        assert CellType.FF.site_kind == "CLB"
+        assert CellType.CARRY.site_kind == "CLB"
+        assert CellType.PS.site_kind == "FIXED"
+
+
+class TestCell:
+    def test_basic_construction(self):
+        c = Cell(index=0, name="u0", ctype=CellType.LUT)
+        assert not c.is_fixed
+        assert c.macro_id is None
+
+    def test_fixed_cell_requires_xy(self):
+        with pytest.raises(ValueError, match="fixed_xy"):
+            Cell(index=0, name="pad", ctype=CellType.IO)
+
+    def test_fixed_cell_with_xy(self):
+        c = Cell(index=0, name="pad", ctype=CellType.IO, fixed_xy=(1.0, 2.0))
+        assert c.is_fixed
+        assert c.fixed_xy == (1.0, 2.0)
+
+    def test_macro_only_for_dsp(self):
+        with pytest.raises(ValueError, match="cascade"):
+            Cell(index=0, name="u0", ctype=CellType.LUT, macro_id=3)
+
+    def test_dsp_in_macro(self):
+        c = Cell(index=0, name="d0", ctype=CellType.DSP, macro_id=3)
+        assert c.macro_id == 3

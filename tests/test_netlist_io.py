@@ -1,0 +1,66 @@
+"""Round-trip tests for netlist serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    CellType,
+    Netlist,
+    load_netlist,
+    netlist_from_json,
+    netlist_to_json,
+    save_netlist,
+)
+
+
+class TestRoundTrip:
+    def test_tiny_roundtrip(self, tiny_netlist):
+        doc = netlist_to_json(tiny_netlist)
+        back = netlist_from_json(doc)
+        assert back.name == tiny_netlist.name
+        assert len(back) == len(tiny_netlist)
+        assert len(back.nets) == len(tiny_netlist.nets)
+        assert back.cascade_pairs() == tiny_netlist.cascade_pairs()
+        assert back.target_freq_mhz == tiny_netlist.target_freq_mhz
+
+    def test_cell_fields_preserved(self, tiny_netlist):
+        back = netlist_from_json(netlist_to_json(tiny_netlist))
+        for a, b in zip(tiny_netlist.cells, back.cells):
+            assert a.name == b.name
+            assert a.ctype is b.ctype
+            assert a.is_datapath == b.is_datapath
+            assert a.fixed_xy == b.fixed_xy
+
+    def test_file_roundtrip(self, tiny_netlist, tmp_path):
+        p = tmp_path / "n.json"
+        save_netlist(tiny_netlist, p)
+        back = load_netlist(p)
+        assert len(back) == len(tiny_netlist)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            netlist_from_json({"format": 99, "name": "x", "cells": [], "nets": [], "macros": []})
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_netlist_roundtrip(data):
+    """Property: any structurally valid netlist serializes losslessly."""
+    n_cells = data.draw(st.integers(2, 12))
+    nl = Netlist("rand")
+    for i in range(n_cells):
+        ctype = data.draw(st.sampled_from([CellType.LUT, CellType.FF, CellType.DSP]))
+        nl.add_cell(f"c{i}", ctype, is_datapath=(True if ctype.is_dsp else None))
+    n_nets = data.draw(st.integers(1, 10))
+    for j in range(n_nets):
+        driver = data.draw(st.integers(0, n_cells - 1))
+        sinks = data.draw(
+            st.lists(st.integers(0, n_cells - 1), min_size=1, max_size=4).filter(
+                lambda s, d=driver: any(x != d for x in s)
+            )
+        )
+        nl.add_net(f"n{j}", driver, sinks)
+    back = netlist_from_json(netlist_to_json(nl))
+    assert len(back) == len(nl)
+    assert [c.name for c in back.cells] == [c.name for c in nl.cells]
+    assert [n.sinks for n in back.nets] == [n.sinks for n in nl.nets]

@@ -1,0 +1,25 @@
+"""Unit tests for cascade macros."""
+
+import pytest
+
+from repro.netlist.macros import CascadeMacro
+
+
+class TestCascadeMacro:
+    def test_pairs_follow_chain_order(self):
+        m = CascadeMacro(macro_id=0, dsps=(5, 7, 9))
+        assert m.pairs() == [(5, 7), (7, 9)]
+
+    def test_len(self):
+        assert len(CascadeMacro(macro_id=0, dsps=(1, 2, 3, 4))) == 4
+
+    def test_validate_short_chain(self):
+        with pytest.raises(ValueError, match="fewer than 2"):
+            CascadeMacro(macro_id=0, dsps=(1,)).validate()
+
+    def test_validate_repeat(self):
+        with pytest.raises(ValueError, match="repeats"):
+            CascadeMacro(macro_id=0, dsps=(1, 2, 1)).validate()
+
+    def test_validate_ok(self):
+        CascadeMacro(macro_id=0, dsps=(1, 2)).validate()

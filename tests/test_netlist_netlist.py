@@ -1,0 +1,112 @@
+"""Unit tests for the Netlist container."""
+
+import pytest
+
+from repro.netlist import CellType, Netlist
+
+
+@pytest.fixture()
+def nl():
+    n = Netlist("t")
+    a = n.add_cell("a", CellType.DSP)
+    b = n.add_cell("b", CellType.DSP)
+    c = n.add_cell("c", CellType.LUT)
+    d = n.add_cell("d", CellType.FF)
+    n.add_net("n1", a, [b, c])
+    n.add_net("n2", c, [d])
+    return n
+
+
+class TestConstruction:
+    def test_indices_are_dense(self, nl):
+        assert [c.index for c in nl.cells] == [0, 1, 2, 3]
+
+    def test_duplicate_cell_name_rejected(self, nl):
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_cell("a", CellType.LUT)
+
+    def test_net_with_unknown_cell_rejected(self, nl):
+        with pytest.raises(IndexError):
+            nl.add_net("bad", 0, [99])
+
+    def test_net_sink_dedup(self, nl):
+        nid = nl.add_net("dup", 0, [3, 3, 2])
+        assert nl.nets[nid].sinks == (3, 2)
+
+    def test_net_dropping_driver_from_sinks(self, nl):
+        nid = nl.add_net("selfy", 0, [0, 3])
+        assert nl.nets[nid].sinks == (3,)
+
+    def test_net_only_driver_rejected(self, nl):
+        with pytest.raises(ValueError, match="no sinks"):
+            nl.add_net("empty", 0, [0])
+
+    def test_cell_by_name(self, nl):
+        assert nl.cell_by_name("c").ctype is CellType.LUT
+
+    def test_len(self, nl):
+        assert len(nl) == 4
+
+
+class TestMacros:
+    def test_add_macro_sets_membership(self, nl):
+        mid = nl.add_macro([0, 1])
+        assert nl.cells[0].macro_id == mid
+        assert nl.cells[1].macro_id == mid
+
+    def test_macro_non_dsp_rejected(self, nl):
+        with pytest.raises(ValueError, match="not a DSP"):
+            nl.add_macro([0, 2])
+
+    def test_macro_double_membership_rejected(self, nl):
+        nl.add_macro([0, 1])
+        with pytest.raises(ValueError, match="already belongs"):
+            nl.add_macro([1, 0])
+
+    def test_cascade_pairs(self, nl):
+        nl.add_macro([0, 1])
+        assert nl.cascade_pairs() == [(0, 1)]
+
+
+class TestQueries:
+    def test_dsp_indices(self, nl):
+        assert nl.dsp_indices() == [0, 1]
+
+    def test_cells_of_type(self, nl):
+        assert [c.name for c in nl.cells_of_type(CellType.LUT)] == ["c"]
+
+    def test_movable_indices_excludes_fixed(self):
+        n = Netlist("t")
+        n.add_cell("ps", CellType.PS, fixed_xy=(0.0, 0.0))
+        n.add_cell("l", CellType.LUT)
+        assert n.movable_indices() == [1]
+
+    def test_nets_of_cell(self, nl):
+        incident = nl.nets_of_cell()
+        assert incident[2] == [0, 1]  # c is a sink of n1 and driver of n2
+
+    def test_iter_edges_fanout_normalized(self, nl):
+        edges = list(nl.iter_edges())
+        n1_edges = [e for e in edges if e[0] == 0]
+        assert len(n1_edges) == 2
+        assert all(abs(w - 0.5) < 1e-12 for _, _, w in n1_edges)
+
+
+class TestStatsValidate:
+    def test_stats_counts(self, nl):
+        st = nl.stats(dsp_capacity=100)
+        assert st.n_dsp == 2
+        assert st.n_lut == 1
+        assert st.n_ff == 1
+        assert st.n_nets == 2
+        assert st.dsp_pct == pytest.approx(0.02)
+
+    def test_stats_without_capacity(self, nl):
+        assert nl.stats().dsp_pct is None
+
+    def test_n_cells(self, nl):
+        assert nl.stats().n_cells == 4
+
+    def test_validate_passes(self, nl):
+        nl.add_macro([0, 1])
+        nl.validate()

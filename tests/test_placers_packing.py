@@ -1,0 +1,89 @@
+"""BLE packing tests."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement, VivadoLikePlacer
+from repro.placers.packing import (
+    Packing,
+    apply_packing,
+    pack_lut_ff_pairs,
+    packing_quality,
+)
+
+
+@pytest.fixture()
+def packable():
+    nl = Netlist("pack")
+    pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+    l0 = nl.add_cell("l0", CellType.LUT)  # single-fanout: packs
+    f0 = nl.add_cell("f0", CellType.FF)
+    l1 = nl.add_cell("l1", CellType.LUT)  # multi-fanout: does not pack
+    f1 = nl.add_cell("f1", CellType.FF)
+    f2 = nl.add_cell("f2", CellType.FF)  # FF driven by a BRAM: no pack
+    br = nl.add_cell("br", CellType.BRAM)
+    nl.add_net("seed", pad, [l0, l1])
+    nl.add_net("a", l0, [f0])
+    nl.add_net("b", l1, [f1, br])
+    nl.add_net("c", br, [f2])
+    return nl, l0, f0, l1, f1, f2
+
+
+class TestPackLutFF:
+    def test_single_fanout_pair_found(self, packable):
+        nl, l0, f0, *_ = packable
+        packing = pack_lut_ff_pairs(nl)
+        assert (l0, f0) in packing.pairs
+
+    def test_multi_fanout_lut_not_packed(self, packable):
+        nl, _, _, l1, f1, _ = packable
+        packing = pack_lut_ff_pairs(nl)
+        assert all(l1 != a for a, _b in packing.pairs)
+
+    def test_non_lut_driver_not_packed(self, packable):
+        nl, *_, f2 = packable
+        packing = pack_lut_ff_pairs(nl)
+        assert all(f2 != b for _a, b in packing.pairs)
+
+    def test_packed_cells(self, packable):
+        nl, l0, f0, *_ = packable
+        packing = pack_lut_ff_pairs(nl)
+        assert {l0, f0} <= packing.packed_cells()
+
+    def test_generated_design_has_many_pairs(self, mini_accel):
+        packing = pack_lut_ff_pairs(mini_accel)
+        # filler clusters are exactly LUT→FF chains, so most should pack
+        assert packing.n_pairs > len(mini_accel.cells_of_type(CellType.FF)) * 0.3
+
+
+class TestApplyPacking:
+    def test_pairs_collapse(self, packable, small_dev):
+        nl, l0, f0, *_ = packable
+        p = Placement(nl, small_dev)
+        p.xy[l0] = (10.0, 10.0)
+        p.xy[f0] = (50.0, 90.0)
+        apply_packing(p, pack_lut_ff_pairs(nl))
+        assert np.allclose(p.xy[l0], p.xy[f0])
+        assert np.allclose(p.xy[l0], (30.0, 50.0))
+
+    def test_quality_metric(self, packable, small_dev):
+        nl, l0, f0, *_ = packable
+        p = Placement(nl, small_dev)
+        p.xy[l0] = (0.0, 0.0)
+        p.xy[f0] = (30.0, 40.0)
+        packing = Packing(pairs=((l0, f0),))
+        assert packing_quality(p, packing) == pytest.approx(70.0)
+        assert packing_quality(p, Packing(pairs=())) == 0.0
+
+
+class TestPackedFlow:
+    def test_packed_flow_legal(self, mini_accel, small_dev):
+        p = VivadoLikePlacer(seed=0, pack_ble=True).place(mini_accel, small_dev)
+        assert p.is_legal()
+
+    def test_packing_reduces_pair_distance(self, mini_accel, small_dev):
+        packing = pack_lut_ff_pairs(mini_accel)
+        loose = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        packed = VivadoLikePlacer(seed=0, pack_ble=True).place(mini_accel, small_dev)
+        assert packing_quality(packed, packing) <= packing_quality(loose, packing)

@@ -1,0 +1,83 @@
+"""Router tests: RUDY congestion, detours, routed wirelength."""
+
+import numpy as np
+import pytest
+
+from repro.placers import Placement, VivadoLikePlacer
+from repro.router import GlobalRouter, net_hpwl, steiner_factor
+
+
+class TestEstimator:
+    def test_net_hpwl_matches_placement_total(self, mini_accel, small_dev):
+        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        assert net_hpwl(p).sum() == pytest.approx(p.hpwl())
+
+    def test_steiner_factor_small_nets(self):
+        assert steiner_factor(np.array([2]))[0] == 1.0
+
+    def test_steiner_factor_grows(self):
+        f = steiner_factor(np.array([2, 4, 16, 64]))
+        assert np.all(np.diff(f) > 0)
+
+
+@pytest.fixture(scope="module")
+def routed(mini_accel, small_dev):
+    p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+    return p, GlobalRouter(grid=(16, 16)).route(p)
+
+
+class TestGlobalRouter:
+    def test_detours_at_least_one(self, routed):
+        _, r = routed
+        assert np.all(r.net_detour >= 1.0)
+        assert np.all(r.net_detour <= 2.5)
+
+    def test_routed_at_least_steiner(self, routed, mini_accel):
+        p, r = routed
+        base = net_hpwl(p) * steiner_factor(
+            np.array([n.degree for n in mini_accel.nets], dtype=float)
+        )
+        assert np.all(r.net_routed_len >= base - 1e-9)
+
+    def test_total_is_sum(self, routed):
+        _, r = routed
+        assert r.total_wirelength == pytest.approx(r.net_routed_len.sum())
+
+    def test_congestion_map_shape(self, routed):
+        _, r = routed
+        assert r.congestion.shape == (16, 16)
+        assert np.all(r.congestion >= 0)
+
+    def test_overflow_frac_range(self, routed):
+        _, r = routed
+        assert 0.0 <= r.overflow_frac <= 1.0
+
+    def test_conservation_of_demand(self, routed, mini_accel):
+        """RUDY smears each net's wirelength exactly once over its bbox."""
+        p, r = routed
+        gx, gy = 16, 16
+        bw, bh = p.device.width / gx, p.device.height / gy
+        cap = 1.0 * bw * bh  # default capacity
+        total_demand = r.congestion.sum() * cap
+        from repro.router.estimator import net_hpwl as nh, steiner_factor as sf
+
+        wl = (nh(p) * sf(np.array([n.degree for n in mini_accel.nets], dtype=float))).sum()
+        assert total_demand == pytest.approx(wl, rel=1e-6)
+
+    def test_stretched_placement_congests(self, mini_accel, small_dev):
+        """Alternating cells between opposite corners overlaps every net's
+        bbox in the middle — overflow and detours must exceed the optimized
+        placement's."""
+        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        router = GlobalRouter(grid=(16, 16), capacity=0.3)
+        spread = router.route(p)
+        stretched = Placement(mini_accel, small_dev)
+        mov = mini_accel.movable_indices()
+        for k, i in enumerate(mov):
+            if k % 2:
+                stretched.xy[i] = (small_dev.width - 1.0, small_dev.height - 1.0)
+            else:
+                stretched.xy[i] = (1.0, 1.0)
+        stretched_r = router.route(stretched)
+        assert stretched_r.overflow_frac > spread.overflow_frac
+        assert stretched_r.net_detour.mean() > spread.net_detour.mean()

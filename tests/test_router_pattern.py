@@ -1,0 +1,70 @@
+"""Pattern-router tests: feasibility, capacity negotiation, RUDY agreement."""
+
+import numpy as np
+import pytest
+
+from repro.placers import Placement, VivadoLikePlacer
+from repro.router import GlobalRouter, PatternRouter
+
+
+@pytest.fixture(scope="module")
+def placed(mini_accel, small_dev):
+    return VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+
+
+class TestPatternRouter:
+    def test_routes_every_net(self, placed, mini_accel):
+        r = PatternRouter(grid=(12, 12)).route(placed)
+        assert r.net_routed_len.shape == (len(mini_accel.nets),)
+        assert np.all(r.net_routed_len >= 0)
+        assert np.isfinite(r.total_wirelength)
+
+    def test_detour_bounds(self, placed):
+        r = PatternRouter(grid=(12, 12)).route(placed)
+        assert np.all(r.net_detour >= 1.0)
+        assert np.all(r.net_detour <= 2.5)
+
+    def test_routed_at_least_hpwl_steiner(self, placed, mini_accel):
+        from repro.router.estimator import net_hpwl, steiner_factor
+
+        r = PatternRouter(grid=(12, 12)).route(placed)
+        base = net_hpwl(placed) * steiner_factor(
+            np.array([n.degree for n in mini_accel.nets], dtype=float)
+        )
+        assert np.all(r.net_routed_len >= base - 1e-6)
+
+    def test_negotiation_reduces_overflow(self, placed):
+        tight = dict(grid=(12, 12), capacity_per_edge=25.0)
+        one = PatternRouter(n_rounds=1, **tight).route(placed)
+        many = PatternRouter(n_rounds=4, **tight).route(placed)
+        assert many.overflow_frac <= one.overflow_frac + 1e-9
+
+    def test_correlates_with_rudy(self, placed):
+        """Both congestion models must agree on where the hot region is."""
+        rudy = GlobalRouter(grid=(12, 12)).route(placed)
+        pat = PatternRouter(grid=(12, 12)).route(placed)
+        a = rudy.congestion.ravel()
+        b = pat.congestion.ravel()
+        keep = (a > 0) | (b > 0)
+        corr = np.corrcoef(a[keep], b[keep])[0, 1]
+        assert corr > 0.4, corr
+
+    def test_connection_cap(self, placed):
+        with pytest.raises(ValueError, match="connections"):
+            PatternRouter(max_connections=10).route(placed)
+
+    def test_same_bin_connection(self, small_dev):
+        """Driver and sink in one bin: zero bins crossed, detour 1."""
+        from repro.netlist import CellType, Netlist
+
+        nl = Netlist("t")
+        a = nl.add_cell("a", CellType.LUT)
+        b = nl.add_cell("b", CellType.FF)
+        anchor = nl.add_cell("pad", CellType.IO, fixed_xy=(5.0, 5.0))
+        nl.add_net("n0", anchor, [a])
+        nl.add_net("n", a, [b])
+        p = Placement(nl, small_dev)
+        p.xy[a] = (10.0, 10.0)
+        p.xy[b] = (11.0, 11.0)
+        r = PatternRouter(grid=(8, 8)).route(p)
+        assert np.isfinite(r.total_wirelength)

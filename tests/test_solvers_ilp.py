@@ -1,0 +1,140 @@
+"""Branch-and-bound ILP vs scipy.optimize.milp and brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.solvers import solve_ilp
+
+
+class TestSolveILP:
+    def test_trivial_min(self):
+        res = solve_ilp(np.array([1.0, -1.0]))
+        assert res.ok
+        assert list(res.x) == [0.0, 1.0]
+        assert res.objective == -1.0
+
+    def test_knapsack(self):
+        # max 3a+4b+5c s.t. 2a+3b+4c <= 5 (minimized as negatives);
+        # optimum is a+b (weight 5, value 7)
+        c = np.array([-3.0, -4.0, -5.0])
+        res = solve_ilp(c, A_ub=np.array([[2.0, 3.0, 4.0]]), b_ub=np.array([5.0]))
+        assert res.ok
+        assert res.objective == -7.0
+
+    def test_equality_constraint(self):
+        # pick exactly one of two, prefer cheaper
+        res = solve_ilp(
+            np.array([3.0, 1.0]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([1.0]),
+        )
+        assert res.ok
+        assert list(res.x) == [0.0, 1.0]
+
+    def test_infeasible(self):
+        res = solve_ilp(
+            np.array([1.0]),
+            A_eq=np.array([[1.0]]),
+            b_eq=np.array([0.5]),  # x must be 0.5 but integer
+        )
+        assert res.status == "infeasible"
+
+    def test_integer_ranges(self):
+        # minimize -x with x integer in [0, 7]
+        res = solve_ilp(np.array([-1.0]), bounds=[(0, 7)])
+        assert res.ok and res.x[0] == 7.0
+
+    def test_mixed_integrality(self):
+        # y continuous: min -x - y, x+y <= 1.5, x binary
+        res = solve_ilp(
+            np.array([-1.0, -1.0]),
+            A_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.5]),
+            bounds=[(0, 1), (0, 1)],
+            integrality=np.array([True, False]),
+        )
+        assert res.ok
+        assert res.objective == pytest.approx(-1.5)
+
+    def test_fractional_lp_forced_integral(self):
+        # LP optimum is x=y=0.5; ILP must pick a vertex
+        res = solve_ilp(
+            np.array([-1.0, -1.0]),
+            A_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.0]),
+        )
+        assert res.ok
+        assert res.objective == pytest.approx(-1.0)
+        assert set(np.round(res.x)) <= {0.0, 1.0}
+
+    def test_simplex_engine_agrees(self):
+        c = np.array([2.0, -3.0, 1.0])
+        a = np.array([[1.0, 2.0, 1.0]])
+        b = np.array([2.0])
+        r1 = solve_ilp(c, A_ub=a, b_ub=b, engine="highs")
+        r2 = solve_ilp(c, A_ub=a, b_ub=b, engine="simplex")
+        assert r1.ok and r2.ok
+        assert r1.objective == pytest.approx(r2.objective)
+
+
+def _brute_binary(c, A_ub, b_ub):
+    best = None
+    n = len(c)
+    for bits in itertools.product((0.0, 1.0), repeat=n):
+        x = np.array(bits)
+        if A_ub is not None and np.any(A_ub @ x > b_ub + 1e-9):
+            continue
+        v = float(c @ x)
+        if best is None or v < best:
+            best = v
+    return best
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_ilp_matches_brute_force(data):
+    n = data.draw(st.integers(2, 6))
+    m = data.draw(st.integers(1, 3))
+    c = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n)))
+    a = np.array(
+        data.draw(
+            st.lists(
+                st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    b = np.array(data.draw(st.lists(st.floats(-1, 6, allow_nan=False), min_size=m, max_size=m)))
+    res = solve_ilp(c, A_ub=a, b_ub=b)
+    ref = _brute_binary(c, a, b)
+    if ref is None:
+        assert res.status == "infeasible"
+    else:
+        assert res.ok
+        assert res.objective == pytest.approx(ref, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_ilp_matches_scipy_milp(data):
+    n = data.draw(st.integers(2, 5))
+    c = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n)))
+    a = np.array(
+        data.draw(st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n))
+    ).reshape(1, n)
+    b = np.array([data.draw(st.floats(0, 5, allow_nan=False))])
+    res = solve_ilp(c, A_ub=a, b_ub=b)
+    ref = milp(
+        c,
+        constraints=[LinearConstraint(a, -np.inf, b)],
+        bounds=Bounds(0, 1),
+        integrality=np.ones(n),
+    )
+    assert res.ok == (ref.status == 0)
+    if res.ok:
+        assert res.objective == pytest.approx(float(ref.fun), abs=1e-6)

@@ -1,0 +1,159 @@
+"""Intra-column legalization DP and L1 isotonic regression."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import ColumnBlock, l1_isotonic, legalize_column_rows
+
+
+def brute_force(blocks, m_rows):
+    sizes = [b.size for b in blocks]
+    best = (math.inf, None)
+
+    def rec(j, min_row, starts, cost):
+        nonlocal best
+        if cost >= best[0]:
+            return
+        if j == len(blocks):
+            best = (cost, list(starts))
+            return
+        hi = m_rows - sum(sizes[j:])
+        for r in range(min_row, hi + 1):
+            rec(j + 1, r + sizes[j], starts + [r], cost + blocks[j].cost_at(r))
+
+    rec(0, 0, [], 0.0)
+    return best
+
+
+class TestColumnBlock:
+    def test_cost_at(self):
+        b = ColumnBlock(targets=(2.0, 3.0))
+        assert b.cost_at(2) == 0.0
+        assert b.cost_at(0) == 4.0
+
+    def test_size(self):
+        assert ColumnBlock(targets=(1.0,)).size == 1
+
+
+class TestLegalizeColumnRows:
+    def test_empty(self):
+        assert legalize_column_rows([], 5) == []
+
+    def test_single_block_snaps_to_target(self):
+        starts = legalize_column_rows([ColumnBlock(targets=(3.0,))], 10)
+        assert starts == [3]
+
+    def test_target_outside_clamps(self):
+        starts = legalize_column_rows([ColumnBlock(targets=(99.0, 100.0))], 6)
+        assert starts == [4]  # rows 4,5
+
+    def test_ordering_enforced(self):
+        blocks = [ColumnBlock(targets=(5.0,)), ColumnBlock(targets=(5.0,))]
+        starts = legalize_column_rows(blocks, 10)
+        assert starts[1] >= starts[0] + 1
+
+    def test_does_not_fit_raises(self):
+        with pytest.raises(ValueError, match="rows"):
+            legalize_column_rows([ColumnBlock(targets=(0.0,) * 5)], 4)
+
+    def test_exact_fit(self):
+        blocks = [ColumnBlock(targets=(9.0, 9.0)), ColumnBlock(targets=(0.0, 0.0))]
+        starts = legalize_column_rows(blocks, 4)
+        assert starts == [0, 2]  # forced packing despite targets
+
+    def test_known_optimal(self):
+        blocks = [
+            ColumnBlock(targets=(1.0, 2.0)),
+            ColumnBlock(targets=(2.5,)),
+            ColumnBlock(targets=(6.0,)),
+        ]
+        starts = legalize_column_rows(blocks, 8)
+        cost = sum(b.cost_at(r) for b, r in zip(blocks, starts))
+        ref, _ = brute_force(blocks, 8)
+        assert cost == pytest.approx(ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_dp_matches_brute_force(data):
+    m_rows = data.draw(st.integers(3, 9))
+    n_blocks = data.draw(st.integers(1, 4))
+    blocks = []
+    total = 0
+    for _ in range(n_blocks):
+        size = data.draw(st.integers(1, 3))
+        if total + size > m_rows:
+            break
+        total += size
+        targets = tuple(
+            data.draw(st.floats(-2, m_rows + 2, allow_nan=False)) for _ in range(size)
+        )
+        blocks.append(ColumnBlock(targets=targets))
+    if not blocks:
+        return
+    starts = legalize_column_rows(blocks, m_rows)
+    # feasibility
+    assert starts[0] >= 0
+    for j in range(1, len(blocks)):
+        assert starts[j] >= starts[j - 1] + blocks[j - 1].size
+    assert starts[-1] + blocks[-1].size <= m_rows
+    # optimality
+    cost = sum(b.cost_at(r) for b, r in zip(blocks, starts))
+    ref, _ = brute_force(blocks, m_rows)
+    assert cost == pytest.approx(ref, abs=1e-9)
+
+
+class TestL1Isotonic:
+    def test_already_monotone(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(l1_isotonic(v), v)
+
+    def test_single_violation_pools(self):
+        f = l1_isotonic(np.array([2.0, 1.0]))
+        assert f[0] == f[1]
+        assert 1.0 <= f[0] <= 2.0
+
+    def test_output_monotone(self, rng):
+        for _ in range(20):
+            v = rng.normal(size=15)
+            f = l1_isotonic(v)
+            assert np.all(np.diff(f) >= -1e-12)
+
+    def test_weighted_pull(self):
+        # heavy weight on the second value dominates the pooled median
+        f = l1_isotonic(np.array([5.0, 1.0]), weights=np.array([1.0, 10.0]))
+        assert f[0] == f[1] == 1.0
+
+    def test_empty(self):
+        assert l1_isotonic(np.array([])).size == 0
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            l1_isotonic(np.array([1.0]), weights=np.array([-1.0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=12)
+)
+def test_isotonic_is_optimal_vs_candidate_levels(values):
+    """Property: L1 isotonic fit beats any monotone fit over value levels.
+
+    The optimal L1 isotonic solution uses only input values as levels, so
+    comparing against all monotone assignments of those levels is exact for
+    small n.
+    """
+    v = np.array(values)
+    f = l1_isotonic(v)
+    cost = np.abs(f - v).sum()
+    if len(values) <= 6:
+        levels = sorted(set(values))
+        best = math.inf
+        for combo in itertools.combinations_with_replacement(levels, len(values)):
+            best = min(best, float(np.abs(np.array(combo) - v).sum()))
+        assert cost == pytest.approx(best, abs=1e-9)
+    assert np.all(np.diff(f) >= -1e-12)

@@ -1,0 +1,151 @@
+"""Min-cost-flow tests: hand cases, references, properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import MinCostFlow, hungarian, min_cost_assignment
+
+
+class TestMinCostFlowBasics:
+    def test_single_edge(self):
+        net = MinCostFlow(2)
+        e = net.add_edge(0, 1, 5, 2.0)
+        flow, cost = net.min_cost_flow(0, 1)
+        assert flow == 5
+        assert cost == 10.0
+        assert net.flow_on(e) == 5
+
+    def test_capacity_limits_flow(self):
+        net = MinCostFlow(3)
+        net.add_edge(0, 1, 3, 1.0)
+        net.add_edge(1, 2, 2, 1.0)
+        flow, cost = net.min_cost_flow(0, 2)
+        assert flow == 2
+        assert cost == 4.0
+
+    def test_max_flow_argument(self):
+        net = MinCostFlow(2)
+        net.add_edge(0, 1, 10, 1.0)
+        flow, _ = net.min_cost_flow(0, 1, max_flow=4)
+        assert flow == 4
+
+    def test_prefers_cheap_path(self):
+        net = MinCostFlow(4)
+        net.add_edge(0, 1, 1, 10.0)
+        net.add_edge(1, 3, 1, 10.0)
+        net.add_edge(0, 2, 1, 1.0)
+        net.add_edge(2, 3, 1, 1.0)
+        flow, cost = net.min_cost_flow(0, 3, max_flow=1)
+        assert flow == 1
+        assert cost == 2.0
+
+    def test_negative_costs_handled(self):
+        net = MinCostFlow(3)
+        net.add_edge(0, 1, 1, -5.0)
+        net.add_edge(1, 2, 1, 2.0)
+        flow, cost = net.min_cost_flow(0, 2)
+        assert flow == 1
+        assert cost == -3.0
+
+    def test_disconnected_returns_zero_flow(self):
+        net = MinCostFlow(3)
+        net.add_edge(0, 1, 1, 1.0)
+        flow, cost = net.min_cost_flow(0, 2)
+        assert flow == 0
+        assert cost == 0.0
+
+    def test_source_equals_sink_rejected(self):
+        net = MinCostFlow(2)
+        with pytest.raises(ValueError):
+            net.min_cost_flow(1, 1)
+
+    def test_bad_edge_rejected(self):
+        net = MinCostFlow(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1, 1.0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1, 1.0)
+
+
+class TestAssignment:
+    def test_simple(self):
+        asg = min_cost_assignment(2, 2, [(0, 0, 1.0), (0, 1, 9.0), (1, 0, 9.0), (1, 1, 1.0)])
+        assert asg == {0: 0, 1: 1}
+
+    def test_forced_expensive(self):
+        asg = min_cost_assignment(2, 2, [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 1.0)])
+        assert asg == {0: 1, 1: 0}  # agent 1 can only take slot 0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            min_cost_assignment(2, 2, [(0, 0, 1.0), (1, 0, 1.0)])
+
+    def test_slot_capacity(self):
+        asg = min_cost_assignment(2, 1, [(0, 0, 1.0), (1, 0, 1.0)], slot_capacity=2)
+        assert asg == {0: 0, 1: 0}
+
+    def test_empty(self):
+        assert min_cost_assignment(0, 3, []) == {}
+
+    def test_out_of_range_arc(self):
+        with pytest.raises(IndexError):
+            min_cost_assignment(1, 1, [(0, 5, 1.0)])
+
+    def test_duplicate_arcs_ignored(self):
+        asg = min_cost_assignment(1, 1, [(0, 0, 1.0), (0, 0, 99.0)])
+        assert asg == {0: 0}
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_mcf_matches_hungarian(data):
+    """Property: MCF assignment cost equals the Hungarian optimum."""
+    n = data.draw(st.integers(1, 6))
+    m = data.draw(st.integers(n, 7))
+    cost = np.array(
+        data.draw(
+            st.lists(
+                st.lists(st.floats(-20, 20, allow_nan=False), min_size=m, max_size=m),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    arcs = [(i, j, float(cost[i, j])) for i in range(n) for j in range(m)]
+    asg = min_cost_assignment(n, m, arcs)
+    assert sorted(asg) == list(range(n))
+    assert len(set(asg.values())) == n
+    got = sum(cost[i, asg[i]] for i in range(n))
+    _, ref = hungarian(cost)
+    assert got == pytest.approx(ref, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_flow_conservation(data):
+    """Property: at every interior node, inflow equals outflow."""
+    n_nodes = data.draw(st.integers(3, 7))
+    net = MinCostFlow(n_nodes)
+    edges = []
+    for _ in range(data.draw(st.integers(2, 12))):
+        u = data.draw(st.integers(0, n_nodes - 1))
+        v = data.draw(st.integers(0, n_nodes - 1))
+        if u == v:
+            continue
+        cap = data.draw(st.integers(0, 5))
+        cost = data.draw(st.floats(0, 10, allow_nan=False))
+        edges.append((u, v, cap, net.add_edge(u, v, cap, cost)))
+    flow, _ = net.min_cost_flow(0, n_nodes - 1)
+    balance = [0.0] * n_nodes
+    for u, v, cap, eid in edges:
+        f = net.flow_on(eid)
+        assert -1e-9 <= f <= cap + 1e-9
+        balance[u] -= f
+        balance[v] += f
+    assert balance[0] == pytest.approx(-flow)
+    assert balance[n_nodes - 1] == pytest.approx(flow)
+    for i in range(1, n_nodes - 1):
+        assert balance[i] == pytest.approx(0.0, abs=1e-9)

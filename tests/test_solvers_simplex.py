@@ -1,0 +1,87 @@
+"""Dense simplex vs scipy linprog (HiGHS)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linprog
+
+from repro.solvers import solve_lp_simplex
+
+
+class TestSimplex:
+    def test_basic_lp(self):
+        # min -x-y st x+y<=1, x,y>=0 → -1
+        res = solve_lp_simplex(
+            np.array([-1.0, -1.0]), A_ub=np.array([[1.0, 1.0]]), b_ub=np.array([1.0])
+        )
+        assert res.ok
+        assert res.objective == pytest.approx(-1.0)
+
+    def test_equality(self):
+        res = solve_lp_simplex(
+            np.array([1.0, 2.0]), A_eq=np.array([[1.0, 1.0]]), b_eq=np.array([3.0])
+        )
+        assert res.ok
+        assert res.objective == pytest.approx(3.0)
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        res = solve_lp_simplex(
+            np.array([1.0]),
+            A_ub=np.array([[1.0]]),
+            b_ub=np.array([-1.0]),  # x <= -1 with x >= 0
+        )
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        res = solve_lp_simplex(np.array([-1.0]))  # min -x, x >= 0, no upper bound
+        assert res.status == "unbounded"
+
+    def test_bounds_shifted(self):
+        res = solve_lp_simplex(np.array([1.0]), bounds=[(2.0, 5.0)])
+        assert res.ok
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_upper_bounds(self):
+        res = solve_lp_simplex(np.array([-1.0]), bounds=[(0.0, 3.5)])
+        assert res.ok
+        assert res.x[0] == pytest.approx(3.5)
+
+    def test_no_constraints_with_costs(self):
+        res = solve_lp_simplex(np.array([1.0, -2.0]), bounds=[(0, 1), (0, 1)])
+        assert res.ok
+        assert list(res.x) == [0.0, 1.0]
+
+    def test_free_below_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp_simplex(np.array([1.0]), bounds=[(-math.inf, 1.0)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_simplex_matches_highs(data):
+    n = data.draw(st.integers(1, 5))
+    m = data.draw(st.integers(1, 4))
+    c = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n)))
+    a = np.array(
+        data.draw(
+            st.lists(
+                st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    b = np.array(data.draw(st.lists(st.floats(-2, 6, allow_nan=False), min_size=m, max_size=m)))
+    bounds = [(0.0, 4.0)] * n  # finite box keeps both solvers bounded
+    mine = solve_lp_simplex(c, A_ub=a, b_ub=b, bounds=bounds)
+    ref = linprog(c, A_ub=a, b_ub=b, bounds=bounds, method="highs")
+    assert mine.ok == (ref.status == 0)
+    if mine.ok:
+        assert mine.objective == pytest.approx(float(ref.fun), abs=1e-6)
+        # returned point must be feasible within the solver's tolerance
+        # (phase-1 accepts residuals below 1e-7, matching HiGHS defaults)
+        assert np.all(a @ mine.x <= b + 1e-6)
+        assert np.all(mine.x >= -1e-6) and np.all(mine.x <= 4.0 + 1e-6)

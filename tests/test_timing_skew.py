@@ -1,0 +1,86 @@
+"""Cross-clock-region skew modeling."""
+
+import dataclasses
+
+import pytest
+
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement
+from repro.timing import DelayModel, StaticTimingAnalyzer
+
+
+@pytest.fixture()
+def pair():
+    nl = Netlist("skew")
+    pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+    a = nl.add_cell("ffa", CellType.FF)
+    b = nl.add_cell("ffb", CellType.FF)
+    nl.add_net("n0", pad, [a])
+    nl.add_net("n1", a, [b])
+    return nl, a, b
+
+
+def _slack_of(report, cell):
+    import numpy as np
+
+    idx = int(np.flatnonzero(report.endpoint_cells == cell)[0])
+    return float(report.endpoint_slack[idx])
+
+
+class TestClockSkew:
+    def test_cross_region_pays_skew(self, pair, small_dev):
+        nl, a, b = pair
+        dm = DelayModel()
+        sta = StaticTimingAnalyzer(nl, dm)
+        # same physical a→b distance, once within a clock region and once
+        # across the (1, 2) region grid of the small device
+        p_same = Placement(nl, small_dev)
+        p_same.xy[a] = (100.0, 10.0)
+        p_same.xy[b] = (100.0, 110.0)  # same region (bottom half)
+        p_cross = Placement(nl, small_dev)
+        p_cross.xy[a] = (100.0, small_dev.height / 2 - 50.0)
+        p_cross.xy[b] = (100.0, small_dev.height / 2 + 50.0)  # crosses rows
+        s_same = _slack_of(sta.analyze(p_same, period_ns=10.0), b)
+        s_cross = _slack_of(sta.analyze(p_cross, period_ns=10.0), b)
+        assert s_cross == pytest.approx(s_same - dm.clock_skew_per_region, abs=1e-9)
+
+    def test_skew_disabled(self, pair, small_dev):
+        nl, a, b = pair
+        p = Placement(nl, small_dev)
+        p.xy[a] = (100.0, small_dev.height / 2 - 50.0)
+        p.xy[b] = (100.0, small_dev.height / 2 + 50.0)
+        dm_off = dataclasses.replace(DelayModel(), clock_skew_per_region=0.0)
+        s_off = _slack_of(StaticTimingAnalyzer(nl, dm_off).analyze(p, period_ns=10.0), b)
+        s_on = _slack_of(StaticTimingAnalyzer(nl).analyze(p, period_ns=10.0), b)
+        assert s_off > s_on
+
+    def test_launch_region_propagates_through_logic(self, small_dev):
+        """Skew is charged from the *launch register*, not the last comb cell."""
+        nl = Netlist("prop")
+        pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+        a = nl.add_cell("ffa", CellType.FF)
+        l = nl.add_cell("lut", CellType.LUT)
+        b = nl.add_cell("ffb", CellType.FF)
+        nl.add_net("n0", pad, [a])
+        nl.add_net("n1", a, [l])
+        nl.add_net("n2", l, [b])
+        dm = DelayModel()
+        sta = StaticTimingAnalyzer(nl, dm)
+        p = Placement(nl, small_dev)
+        # launch in bottom region, LUT and capture together in top region
+        p.xy[a] = (100.0, 10.0)
+        p.xy[l] = (100.0, small_dev.height - 30.0)
+        p.xy[b] = (100.0, small_dev.height - 20.0)
+        rep = sta.analyze(p, period_ns=10.0, with_slacks=True)
+        manual = (
+            dm.clk_to_q[CellType.FF]
+            + dm.net_delay(abs(p.xy[l][1] - p.xy[a][1]))
+            + dm.prop[CellType.LUT]
+            + dm.net_delay(10.0)
+            + dm.clock_skew_per_region  # one region row apart
+        )
+        assert rep.wns_ns == pytest.approx(10.0 - dm.setup[CellType.FF] - manual, abs=1e-9)
+        # required-time pass carries the same skew
+        import numpy as np
+
+        assert np.nanmin(rep.cell_output_slack) == pytest.approx(rep.wns_ns, abs=1e-9)

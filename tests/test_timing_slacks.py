@@ -1,0 +1,85 @@
+"""Backward required-time pass and timing-driven placement."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import CellType, Netlist
+from repro.placers import Placement, VivadoLikePlacer
+from repro.timing import StaticTimingAnalyzer
+
+
+@pytest.fixture()
+def chain_netlist():
+    """pad -> ffa -> lut -> ffb, plus a side lut with no endpoint."""
+    nl = Netlist("chain")
+    nl.target_freq_mhz = 100.0
+    pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+    a = nl.add_cell("ffa", CellType.FF)
+    l = nl.add_cell("lut", CellType.LUT)
+    b = nl.add_cell("ffb", CellType.FF)
+    dangle = nl.add_cell("dangle", CellType.LUT)
+    nl.add_net("n0", pad, [a])
+    nl.add_net("n1", a, [l])
+    nl.add_net("n2", l, [b])
+    nl.add_net("n3", b, [dangle])
+    return nl, a, l, b, dangle
+
+
+class TestRequiredTimes:
+    def test_min_cell_slack_equals_wns(self, mini_accel, small_dev):
+        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        rep = StaticTimingAnalyzer(mini_accel).analyze(p, period_ns=5.0, with_slacks=True)
+        assert np.nanmin(rep.cell_output_slack) == pytest.approx(rep.wns_ns, abs=1e-9)
+
+    def test_slack_disabled_by_default(self, chain_netlist, small_dev):
+        nl, *_ = chain_netlist
+        rep = StaticTimingAnalyzer(nl).analyze(Placement(nl, small_dev))
+        assert rep.cell_output_slack is None
+
+    def test_hand_computed_slack(self, chain_netlist, small_dev):
+        nl, a, l, b, dangle = chain_netlist
+        p = Placement(nl, small_dev)
+        p.xy[[a, l, b, dangle]] = [[0, 0], [100, 0], [200, 0], [300, 0]]
+        sta = StaticTimingAnalyzer(nl)
+        dm = sta.dm
+        rep = sta.analyze(p, period_ns=10.0, with_slacks=True)
+        arr_b_in = dm.clk_to_q[CellType.FF] + dm.net_delay(100.0) + dm.prop[CellType.LUT] + dm.net_delay(100.0)
+        expect = 10.0 - dm.setup[CellType.FF] - arr_b_in
+        # ffa's output slack equals the full-path slack (only one path)
+        assert rep.cell_output_slack[a] == pytest.approx(expect, abs=1e-9)
+        # lut shares the same path slack
+        assert rep.cell_output_slack[l] == pytest.approx(expect, abs=1e-9)
+
+    def test_no_endpoint_is_nan(self, chain_netlist, small_dev):
+        nl, a, l, b, dangle = chain_netlist
+        rep = StaticTimingAnalyzer(nl).analyze(
+            Placement(nl, small_dev), period_ns=10.0, with_slacks=True
+        )
+        # dangle drives nothing: no required time
+        assert np.isnan(rep.cell_output_slack[dangle])
+        # ffb drives only dangle (no endpoint downstream): also NaN
+        assert np.isnan(rep.cell_output_slack[b])
+
+    def test_slack_nonincreasing_along_critical_path(self, mini_accel, small_dev):
+        """Every cell on the critical path carries the WNS as its slack."""
+        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        rep = StaticTimingAnalyzer(mini_accel).analyze(p, period_ns=5.0, with_slacks=True)
+        for u in rep.critical_path[:-1]:  # endpoint has no output slack req
+            assert rep.cell_output_slack[u] == pytest.approx(rep.wns_ns, abs=1e-6)
+
+
+class TestTimingDrivenPlacer:
+    def test_td_flow_is_legal(self, mini_accel, small_dev):
+        p = VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        assert p.is_legal()
+
+    def test_weights_restored_after_place(self, mini_accel, small_dev):
+        before = [n.weight for n in mini_accel.nets]
+        VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        after = [n.weight for n in mini_accel.nets]
+        assert before == after
+
+    def test_td_changes_placement(self, mini_accel, small_dev):
+        p0 = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p1 = VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        assert not np.array_equal(p0.xy, p1.xy)
