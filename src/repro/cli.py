@@ -6,6 +6,11 @@ python -m repro place    --suite skrskr1 --scale 0.1 --tool dsplacer
 python -m repro report   --suite skynet --scale 0.1 --tool vivado --paths 5
 python -m repro experiment table1
 ```
+
+Typed pipeline errors (:class:`repro.errors.ReproError`) exit with code 2
+and a one-line message instead of a traceback; ``--strict`` makes the
+DSPlacer flow raise on any stage failure instead of degrading gracefully
+(see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import sys
 
 from repro.accelgen import SUITE_NAMES, generate_suite
 from repro.core import DSPlacer, DSPlacerConfig
+from repro.errors import ReproError
 from repro.fpga import scaled_zcu104
 from repro.netlist import save_netlist
 from repro.placers import AMFLikePlacer, VivadoLikePlacer
@@ -28,6 +34,28 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_robustness(p: argparse.ArgumentParser) -> None:
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise typed errors on stage failures instead of degrading",
+    )
+    mode.add_argument(
+        "--permissive",
+        dest="strict",
+        action="store_false",
+        help="fall back / roll back on stage failures (default)",
+    )
+    p.add_argument(
+        "--stage-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per assignment/legalization stage",
+    )
+
+
 def _place(args) -> int:
     device = scaled_zcu104(args.scale)
     netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
@@ -38,7 +66,13 @@ def _place(args) -> int:
         placement = AMFLikePlacer(seed=args.seed).place(netlist, device)
     else:
         result = DSPlacer(
-            device, DSPlacerConfig(identification="heuristic", seed=args.seed)
+            device,
+            DSPlacerConfig(
+                identification="heuristic",
+                seed=args.seed,
+                strict=getattr(args, "strict", False),
+                stage_budget_s=getattr(args, "stage_budget", None),
+            ),
         ).place(netlist)
         placement = result.placement
         print(
@@ -46,6 +80,7 @@ def _place(args) -> int:
             f"(identification acc {result.identification.accuracy:.0%})",
             file=sys.stderr,
         )
+        print(result.health.summary(), file=sys.stderr)
     route = GlobalRouter().route(placement)
     sta = StaticTimingAnalyzer(netlist)
     fmax = max_frequency(sta, placement, route)
@@ -120,12 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("place", help="place a suite and report PPA")
     _add_common(p)
+    _add_robustness(p)
     p.add_argument("--tool", default="dsplacer", choices=("vivado", "amf", "dsplacer"))
     p.add_argument("--svg", default=None, help="write a layout SVG")
     p.set_defaults(func=_place, paths=0)
 
     r = sub.add_parser("report", help="place and print a timing report")
     _add_common(r)
+    _add_robustness(r)
     r.add_argument("--tool", default="vivado", choices=("vivado", "amf", "dsplacer"))
     r.add_argument("--paths", type=int, default=5)
     r.set_defaults(func=_place, svg=None)
@@ -138,7 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # one line per error class, not a traceback; multi-line validation
+        # reports keep their bullet list
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -40,12 +40,15 @@ from repro.core.extraction.identification import (
 from repro.core.placement.assignment import AssignmentConfig, DatapathDSPAssigner
 from repro.core.placement.incremental import replace_other_components
 from repro.core.placement.legalization import CascadeLegalizer
+from repro.errors import ConfigurationError, NetlistValidationError, ReproError
 from repro.fpga.device import Device
 from repro.ml.train import GraphSample
 from repro.netlist.netlist import Netlist
+from repro.netlist.validate import netlist_problems
 from repro.placers.amf_like import AMFLikePlacer
 from repro.placers.placement import Placement
 from repro.placers.vivado_like import VivadoLikePlacer
+from repro.robustness import RunHealth, SolverGuard, maybe_fault
 
 
 @dataclass(frozen=True)
@@ -92,6 +95,14 @@ class DSPlacerConfig:
     #: pulls DSPs harder toward neighbours on failing paths.
     timing_driven: bool = False
     seed: int = 0
+    #: strict mode: stage failures, budget overruns and validation problems
+    #: raise their typed :class:`~repro.errors.ReproError` instead of
+    #: degrading gracefully to the last-good placement.
+    strict: bool = False
+    #: wall-clock budget (seconds) for each assignment / legalization stage
+    #: invocation; ``None`` disables budgets. Cooperative: checked between
+    #: solver attempts and linearization iterates, never preemptive.
+    stage_budget_s: float | None = None
 
 
 @dataclass
@@ -105,6 +116,9 @@ class DSPlacerResult:
     dsp_graph_edges: int
     mcf_iterations_used: list[int] = field(default_factory=list)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: incident log of the resilience layer; ``health.degraded`` is True
+    #: when a stage failure/budget/rollback affected the result.
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def total_seconds(self) -> float:
@@ -126,7 +140,7 @@ class DSPlacer:
             method=self.config.identification, seed=self.config.seed
         )
         if self.identifier.method in ("gcn", "svm") and identifier is None:
-            raise ValueError(
+            raise ConfigurationError(
                 f"{self.identifier.method!r} identification needs a trained "
                 "DatapathIdentifier passed in (see repro.eval.experiments for "
                 "the leave-one-out training protocol)"
@@ -137,7 +151,7 @@ class DSPlacer:
             return VivadoLikePlacer(seed=self.config.seed)
         if self.config.base_placer == "amf":
             return AMFLikePlacer(seed=self.config.seed)
-        raise ValueError(f"unknown base placer {self.config.base_placer!r}")
+        raise ConfigurationError(f"unknown base placer {self.config.base_placer!r}")
 
     # ------------------------------------------------------------------
     def place(
@@ -155,13 +169,32 @@ class DSPlacer:
                 recomputing features when the caller already has them).
 
         Returns:
-            :class:`DSPlacerResult` with a fully legal placement.
+            :class:`DSPlacerResult` with a fully legal placement. Under the
+            default permissive mode, stage failures / budget overruns roll
+            the run back to the best-so-far legal placement and set
+            ``result.health.degraded`` instead of raising; with
+            ``DSPlacerConfig(strict=True)`` the typed
+            :class:`~repro.errors.ReproError` propagates.
         """
         cfg = self.config
         phases: dict[str, float] = {}
+        health = RunHealth()
+
+        # 0. input validation (strict raises; permissive downgrades)
+        problems = netlist_problems(netlist, self.device)
+        if problems:
+            if cfg.strict:
+                raise NetlistValidationError(
+                    f"netlist {netlist.name!r} failed validation "
+                    f"({len(problems)} problem(s)):\n"
+                    + "\n".join(f"  - {p}" for p in problems)
+                )
+            for p in problems:
+                health.warn("validation", p)
 
         # 1. prototype placement
         t0 = time.perf_counter()
+        maybe_fault("prototype")
         if initial_placement is None:
             placement = self._base_placer().place(netlist, self.device)
         else:
@@ -192,6 +225,7 @@ class DSPlacer:
             n_datapath_dsps=len(datapath_dsps),
             dsp_graph_nodes=dsp_graph.number_of_nodes(),
             dsp_graph_edges=dsp_graph.number_of_edges(),
+            health=health,
         )
         if not datapath_dsps:
             phases["dsp_placement"] = 0.0
@@ -222,43 +256,108 @@ class DSPlacer:
         t_dsp = 0.0
         t_other = 0.0
 
+        # checkpoint: best-so-far legal placement by HPWL (the rollback
+        # target on stage failure / budget overrun / final regression)
+        best: Placement | None = None
+        best_hpwl = np.inf
+        if placement.is_legal():
+            best = placement.copy()
+            best_hpwl = placement.hpwl()
+
         # 3. incremental datapath-driven placement (Fig. 6)
         sta = None
         if cfg.timing_driven and netlist.target_freq_mhz:
             from repro.timing.sta import StaticTimingAnalyzer
 
             sta = StaticTimingAnalyzer(netlist)
-        for _ in range(cfg.outer_iterations):
-            t0 = time.perf_counter()
-            if cfg.congestion_weight > 0:
-                from repro.router.global_router import GlobalRouter
+        for outer in range(1, cfg.outer_iterations + 1):
+            budget_hit = False
+            try:
+                t0 = time.perf_counter()
+                if cfg.congestion_weight > 0:
+                    from repro.router.global_router import GlobalRouter
 
-                assigner.set_congestion_map(GlobalRouter().route(placement).congestion)
-            if sta is not None:
-                period = 1e3 / netlist.target_freq_mhz
-                report = sta.analyze(placement, period_ns=period, with_slacks=True)
-                assigner.set_criticality(report.cell_output_slack, period)
-            assignment, iters = assigner.solve(placement)
-            result.mcf_iterations_used.append(iters)
-            desired = {cell: tuple(site_xy[sid]) for cell, sid in assignment.items()}
-            # control DSPs join legalization at their current coordinates so
-            # the shared columns stay overlap-free
-            for i in netlist.dsp_indices():
-                if i not in desired:
-                    desired[i] = (float(placement.xy[i, 0]), float(placement.xy[i, 1]))
-            legal = legalizer.legalize(desired)
-            for cell, sid in legal.site_of.items():
-                placement.assign_site(cell, sid)
-            t_dsp += time.perf_counter() - t0
+                    assigner.set_congestion_map(
+                        GlobalRouter().route(placement).congestion
+                    )
+                if sta is not None:
+                    period = 1e3 / netlist.target_freq_mhz
+                    report = sta.analyze(placement, period_ns=period, with_slacks=True)
+                    assigner.set_criticality(report.cell_output_slack, period)
+                assign_guard = SolverGuard("assignment", health, cfg.stage_budget_s)
+                assignment, iters = assigner.solve(placement, guard=assign_guard)
+                result.mcf_iterations_used.append(iters)
+                desired = {
+                    cell: tuple(site_xy[sid]) for cell, sid in assignment.items()
+                }
+                # control DSPs join legalization at their current coordinates
+                # so the shared columns stay overlap-free
+                for i in netlist.dsp_indices():
+                    if i not in desired:
+                        desired[i] = (
+                            float(placement.xy[i, 0]),
+                            float(placement.xy[i, 1]),
+                        )
+                legal_guard = SolverGuard("legalization", health, cfg.stage_budget_s)
+                legal = legalizer.legalize(desired, guard=legal_guard)
+                for cell, sid in legal.site_of.items():
+                    placement.assign_site(cell, sid)
+                t_dsp += time.perf_counter() - t0
+                budget_hit = assign_guard.over_budget or legal_guard.over_budget
 
-            t0 = time.perf_counter()
-            placement = replace_other_components(
-                netlist, self.device, placement, datapath_dsps, seed=cfg.seed
-            )
-            t_other += time.perf_counter() - t0
+                if not budget_hit:
+                    t0 = time.perf_counter()
+                    maybe_fault("incremental")
+                    placement = replace_other_components(
+                        netlist, self.device, placement, datapath_dsps, seed=cfg.seed
+                    )
+                    t_other += time.perf_counter() - t0
+            except ReproError as exc:
+                if cfg.strict or best is None:
+                    raise
+                health.record(
+                    "pipeline",
+                    "rollback",
+                    f"outer iteration {outer} failed ({exc}); rolled back to "
+                    f"best-so-far placement (HPWL {best_hpwl:.4g})",
+                )
+                health.degraded = True
+                placement = best.copy()
+                break
+
+            if placement.is_legal():
+                hpwl = placement.hpwl()
+                if hpwl < best_hpwl:
+                    best = placement.copy()
+                    best_hpwl = hpwl
+            if budget_hit:
+                # the stage budget truncated this iteration's work; stop
+                # alternating and keep what is legal so far
+                if cfg.strict:
+                    assign_guard.check_budget()
+                    legal_guard.check_budget()
+                health.degraded = True
+                break
 
         phases["dsp_placement"] = t_dsp
         phases["other_placement"] = t_other
+
+        # final selection: never return worse than the checkpoint (strict
+        # mode opts out and keeps the paper-faithful last iterate)
+        if best is not None and not cfg.strict:
+            final_legal = placement.is_legal()
+            final_hpwl = placement.hpwl() if final_legal else np.inf
+            if not final_legal or final_hpwl > best_hpwl * (1.0 + 1e-12):
+                reason = (
+                    f"final placement HPWL {final_hpwl:.4g} regressed past "
+                    f"best-so-far {best_hpwl:.4g}"
+                    if final_legal
+                    else "final placement is not legal"
+                )
+                health.record("pipeline", "rollback", f"{reason}; rolled back")
+                health.degraded = True
+                placement = best.copy()
+
         result.placement = placement
         result.phase_seconds = phases
         return result

@@ -30,11 +30,30 @@ import networkx as nx
 import numpy as np
 import scipy.optimize
 
+from repro.errors import (
+    ConfigurationError,
+    SolverError,
+    SolverInfeasibleError,
+    SolverInputError,
+)
 from repro.fpga.device import Device
 from repro.netlist.graph import connectivity_matrix
 from repro.netlist.netlist import Netlist
 from repro.placers.placement import Placement
+from repro.robustness.faults import maybe_fault
+from repro.robustness.guard import SolverGuard
 from repro.solvers.mcf import min_cost_assignment
+
+#: deterministic fallback order: the configured engine first, then the rest
+#: of this tuple in order (so mcf → lsa → auction, and auction → lsa → mcf)
+ENGINE_FALLBACK_ORDER = ("lsa", "mcf", "auction")
+
+
+def engine_chain(primary: str) -> list[str]:
+    """The deterministic engine fallback chain starting at ``primary``."""
+    if primary not in ("mcf", "lsa", "auction"):
+        raise ConfigurationError(f"unknown assignment engine {primary!r}")
+    return [primary] + [e for e in ENGINE_FALLBACK_ORDER if e != primary]
 
 
 @dataclass(frozen=True)
@@ -83,12 +102,14 @@ class DatapathDSPAssigner:
         self.config = config or AssignmentConfig()
         self.dsps = list(datapath_dsps)
         if not self.dsps:
-            raise ValueError("no datapath DSPs to assign")
+            raise SolverInputError("no datapath DSPs to assign")
 
         self.site_xy = device.site_xy("DSP")
         m = self.site_xy.shape[0]
         if len(self.dsps) > m:
-            raise ValueError(f"{len(self.dsps)} datapath DSPs exceed {m} device sites")
+            raise SolverInfeasibleError(
+                f"{len(self.dsps)} datapath DSPs exceed {m} device sites"
+            )
         self._site_sq = (self.site_xy**2).sum(axis=1)
         norms = np.sqrt(np.maximum(self._site_sq, 1e-12))
         self._site_cos = self.site_xy[:, 0] / norms
@@ -204,13 +225,17 @@ class DatapathDSPAssigner:
                         cost[k, target] -= cfg.eta
         return cost
 
-    def _solve_once(self, cost: np.ndarray, prev_sites: np.ndarray | None) -> np.ndarray:
+    def _solve_engine(
+        self, engine: str, cost: np.ndarray, prev_sites: np.ndarray | None
+    ) -> np.ndarray:
+        """One per-iterate assignment solve on a single named engine."""
         cfg = self.config
         n, m = cost.shape
-        if cfg.engine == "lsa":
+        maybe_fault(f"assignment.{engine}")
+        if engine == "lsa":
             _, cols = scipy.optimize.linear_sum_assignment(cost)
             return np.asarray(cols, dtype=np.int64)
-        if cfg.engine == "auction":
+        if engine == "auction":
             from repro.solvers.auction import auction_assignment
 
             # relative ε: n·ε suboptimality ≈ auction_tol × cost spread.
@@ -220,6 +245,8 @@ class DatapathDSPAssigner:
             eps = max(cfg.auction_tol, 1e-4) * spread / max(n, 1)
             cols, _total = auction_assignment(cost, eps_min=eps if spread > 0 else None)
             return cols
+        if engine != "mcf":
+            raise ConfigurationError(f"unknown assignment engine {engine!r}")
         # MCF over K-nearest candidate arcs (+ previous site for feasibility)
         k = min(cfg.candidate_k, m)
         while True:
@@ -233,7 +260,7 @@ class DatapathDSPAssigner:
             try:
                 assignment = min_cost_assignment(n, m, arcs)
                 break
-            except ValueError:
+            except SolverInfeasibleError:
                 if k >= m:
                     raise
                 k = min(m, k * 2)  # widen the candidate windows and retry
@@ -241,6 +268,37 @@ class DatapathDSPAssigner:
         for i, j in assignment.items():
             out[i] = j
         return out
+
+    def _solve_once(
+        self,
+        cost: np.ndarray,
+        prev_sites: np.ndarray | None,
+        guard: SolverGuard | None = None,
+    ) -> np.ndarray:
+        """One per-iterate solve with the deterministic engine fallback chain.
+
+        A failing engine (e.g. the auction's non-convergence) degrades to
+        the next engine in :func:`engine_chain` instead of killing the run;
+        with a guard the fallback is recorded in its
+        :class:`~repro.robustness.RunHealth` and the stage budget is
+        enforced between attempts.
+        """
+        chain = engine_chain(self.config.engine)
+        attempts = [
+            (engine, lambda e=engine: self._solve_engine(e, cost, prev_sites))
+            for engine in chain
+        ]
+        if guard is not None:
+            _, sites = guard.run(attempts)
+            return sites
+        last: SolverError | None = None
+        for _, thunk in attempts:
+            try:
+                return thunk()
+            except SolverError as exc:
+                last = exc
+        assert last is not None
+        raise last
 
     # ------------------------------------------------------------------
     def objective(self, sites: np.ndarray, placement: Placement) -> float:
@@ -282,12 +340,20 @@ class DatapathDSPAssigner:
                     total += cfg.eta
         return total
 
-    def solve(self, placement: Placement) -> tuple[dict[int, int], int]:
+    def solve(
+        self, placement: Placement, guard: SolverGuard | None = None
+    ) -> tuple[dict[int, int], int]:
         """Run the linearization loop from the current placement.
 
         Returns ``({dsp_cell_index: dsp_site_id}, iterations_used)``. The
         placement's coordinates are updated to the assigned sites (callers
         still must run cascade legalization — the η term is soft).
+
+        With a ``guard``, every per-iterate solve runs under its fallback
+        chain and the loop honours the stage's wall-clock budget: once the
+        budget is exhausted the best-so-far assignment is returned (or, if
+        there is none yet, :class:`~repro.errors.StageBudgetExceeded` is
+        raised).
         """
         cfg = self.config
         place = placement
@@ -298,8 +364,16 @@ class DatapathDSPAssigner:
         iters = 0
         stale = 0
         for iters in range(1, cfg.max_iterations + 1):
+            if guard is not None and guard.over_budget:
+                if best_sites is not None:
+                    guard.note_budget(
+                        f"budget exhausted after {iters - 1} linearization "
+                        "iterate(s); returning best-so-far assignment"
+                    )
+                    break
+                guard.check_budget()  # no iterate finished: raises
             cost = self.cost_matrix(place, prev_sites)
-            sites = self._solve_once(cost, prev_sites)
+            sites = self._solve_once(cost, prev_sites, guard)
             true_obj = self.objective(sites, placement)
             if true_obj < best_cost - 1e-9:
                 best_cost = true_obj

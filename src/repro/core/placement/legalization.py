@@ -22,8 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import LegalizationError, SolverConvergenceError, SolverError
 from repro.fpga.device import Device
 from repro.netlist.netlist import Netlist
+from repro.robustness.faults import maybe_fault
+from repro.robustness.guard import SolverGuard
 from repro.solvers.ilp import solve_ilp
 from repro.solvers.isotonic import ColumnBlock, legalize_column_rows
 
@@ -64,20 +67,26 @@ class CascadeLegalizer:
         self.max_ilp_nodes = max_ilp_nodes
 
     # ------------------------------------------------------------------
-    def legalize(self, desired_xy: dict[int, tuple[float, float]]) -> LegalizationResult:
+    def legalize(
+        self,
+        desired_xy: dict[int, tuple[float, float]],
+        guard: SolverGuard | None = None,
+    ) -> LegalizationResult:
         """Place every DSP in ``desired_xy`` onto legal sites.
 
         Macros whose members all appear in ``desired_xy`` are kept as rigid
         chains; all listed DSPs (datapath and control alike) compete for
-        the same columns, so the result is overlap-free.
+        the same columns, so the result is overlap-free. With a ``guard``
+        the ILP → greedy inter-column fallback is recorded in its
+        :class:`~repro.robustness.RunHealth` and the stage budget applies.
         """
         entities = self._build_entities(desired_xy)
         cols = self.device.kind_columns("DSP")
         caps = [c.n_sites for c in cols]
         if sum(e.size for e in entities) > sum(caps):
-            raise ValueError("more DSPs than device DSP sites")
+            raise LegalizationError("more DSPs than device DSP sites")
 
-        col_of, used_ilp, ilp_nodes = self._inter_column(entities, cols, caps)
+        col_of, used_ilp, ilp_nodes = self._inter_column(entities, cols, caps, guard)
         site_of: dict[int, int] = {}
         total_disp = 0.0
         for j in range(len(cols)):
@@ -114,52 +123,77 @@ class CascadeLegalizer:
 
     # ------------------------------------------------------------------
     def _inter_column(
-        self, entities: list[_Entity], cols, caps: list[int]
+        self,
+        entities: list[_Entity],
+        cols,
+        caps: list[int],
+        guard: SolverGuard | None = None,
     ) -> tuple[list[int], bool, int]:
         n, ncol = len(entities), len(cols)
         col_x = np.array([c.x for c in cols])
         sizes = np.array([e.size for e in entities], dtype=np.float64)
-        disp = np.abs(np.array([e.x for e in entities])[:, None] - col_x[None, :])
-        cost = (disp * sizes[:, None]).ravel()  # D_col(i, j) (eq. 10)
+        ilp_nodes = 0
 
-        # Σ_j t_ij = 1 per entity
-        a_eq = np.zeros((n, n * ncol))
-        for i in range(n):
-            a_eq[i, i * ncol : (i + 1) * ncol] = 1.0
-        b_eq = np.ones(n)
-        # Σ_i size_i · t_ij ≤ M_j per column
-        a_ub = np.zeros((ncol, n * ncol))
-        for j in range(ncol):
-            a_ub[j, j::ncol] = sizes
-        b_ub = np.array(caps, dtype=np.float64)
-
-        res = solve_ilp(
-            cost,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=[(0.0, 1.0)] * (n * ncol),
-            max_nodes=self.max_ilp_nodes,
-        )
-        if res.ok:
+        def _ilp() -> list[int]:
+            nonlocal ilp_nodes
+            maybe_fault("legalization.ilp")
+            disp = np.abs(np.array([e.x for e in entities])[:, None] - col_x[None, :])
+            cost = (disp * sizes[:, None]).ravel()  # D_col(i, j) (eq. 10)
+            # Σ_j t_ij = 1 per entity
+            a_eq = np.zeros((n, n * ncol))
+            for i in range(n):
+                a_eq[i, i * ncol : (i + 1) * ncol] = 1.0
+            b_eq = np.ones(n)
+            # Σ_i size_i · t_ij ≤ M_j per column
+            a_ub = np.zeros((ncol, n * ncol))
+            for j in range(ncol):
+                a_ub[j, j::ncol] = sizes
+            b_ub = np.array(caps, dtype=np.float64)
+            res = solve_ilp(
+                cost,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=[(0.0, 1.0)] * (n * ncol),
+                max_nodes=self.max_ilp_nodes,
+            )
+            ilp_nodes = res.n_nodes
+            if not res.ok:
+                raise SolverConvergenceError(
+                    f"inter-column ILP gave up ({res.status}) after "
+                    f"{res.n_nodes} of {self.max_ilp_nodes} nodes"
+                )
             x = res.x.reshape(n, ncol)
-            return [int(np.argmax(row)) for row in x], True, res.n_nodes
+            return [int(np.argmax(row)) for row in x]
 
-        # greedy fallback: biggest entities first, nearest column with room
-        order = sorted(range(n), key=lambda i: -entities[i].size)
-        free = list(caps)
-        col_of = [0] * n
-        for i in order:
-            ranked = np.argsort(np.abs(col_x - entities[i].x))
-            for j in ranked:
-                if free[j] >= entities[i].size:
-                    free[j] -= entities[i].size
-                    col_of[i] = int(j)
-                    break
-            else:
-                raise ValueError("greedy inter-column fallback failed to fit entities")
-        return col_of, False, res.n_nodes
+        def _greedy() -> list[int]:
+            # biggest entities first, nearest column with room
+            maybe_fault("legalization.greedy")
+            order = sorted(range(n), key=lambda i: -entities[i].size)
+            free = list(caps)
+            col_of = [0] * n
+            for i in order:
+                ranked = np.argsort(np.abs(col_x - entities[i].x))
+                for j in ranked:
+                    if free[j] >= entities[i].size:
+                        free[j] -= entities[i].size
+                        col_of[i] = int(j)
+                        break
+                else:
+                    raise LegalizationError(
+                        "greedy inter-column fallback failed to fit entities"
+                    )
+            return col_of
+
+        attempts = [("ilp", _ilp), ("greedy", _greedy)]
+        if guard is not None:
+            name, col_of = guard.run(attempts)
+            return col_of, name == "ilp", ilp_nodes
+        try:
+            return _ilp(), True, ilp_nodes
+        except SolverError:
+            return _greedy(), False, ilp_nodes
 
     # ------------------------------------------------------------------
     def _intra_column(self, members: list[_Entity], col_j: int, site_of: dict[int, int]) -> float:

@@ -1,0 +1,98 @@
+"""Typed error taxonomy for the whole pipeline.
+
+Every failure the Fig. 2 flow can produce is a :class:`ReproError` subclass,
+so callers can catch one root type and the resilience layer
+(:mod:`repro.robustness`) can tell *recoverable* solver trouble apart from
+*unrecoverable* input trouble:
+
+- :class:`NetlistValidationError` — the input netlist (or netlist/device
+  pairing) is malformed; no amount of fallback fixes it.
+- :class:`ConfigurationError` — a config knob names an unknown engine,
+  placer, or method.
+- :class:`SolverError` — a solve failed; a :class:`~repro.robustness.SolverGuard`
+  may retry it on a different engine.
+
+  - :class:`SolverInputError` — the solver was called with malformed
+    arguments (shape mismatch, negative capacity, free variables, …).
+  - :class:`SolverInfeasibleError` — the instance has no feasible solution
+    (or none within the solver's candidate structure).
+  - :class:`SolverConvergenceError` — the solver gave up before reaching a
+    solution (iteration/node/round limits).
+
+- :class:`LegalizationError` — a legal placement could not be constructed
+  even after every legalization fallback.
+- :class:`StageBudgetExceeded` — a pipeline stage blew its wall-clock
+  budget.
+
+Several classes also inherit from the builtin exception they historically
+were (``ValueError`` / ``RuntimeError`` / ``TimeoutError``) so that code and
+tests written against the old bare raises keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistValidationError",
+    "ConfigurationError",
+    "SolverError",
+    "SolverInputError",
+    "SolverInfeasibleError",
+    "SolverConvergenceError",
+    "LegalizationError",
+    "StageBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Root of every typed error raised by this package."""
+
+
+class NetlistValidationError(ReproError, ValueError):
+    """The netlist (or netlist/device pairing) violates an invariant.
+
+    Messages are actionable: they name the offending cell/net/macro and what
+    to change (see :mod:`repro.netlist.validate`).
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration knob names an unknown engine/placer/method."""
+
+
+class SolverError(ReproError):
+    """Base class for solver failures — the unit of fallback.
+
+    :class:`~repro.robustness.SolverGuard` catches this (and only this,
+    besides :class:`LegalizationError`) when deciding to try the next engine
+    in a fallback chain.
+    """
+
+
+class SolverInputError(SolverError, ValueError):
+    """The solver was called with malformed arguments."""
+
+
+class SolverInfeasibleError(SolverError, ValueError):
+    """The instance admits no feasible solution."""
+
+
+class SolverConvergenceError(SolverError, RuntimeError):
+    """The solver hit an iteration/round/node limit before converging."""
+
+
+class LegalizationError(ReproError, ValueError):
+    """No legal placement could be constructed for the given cells."""
+
+
+class StageBudgetExceeded(ReproError, TimeoutError):
+    """A pipeline stage exhausted its wall-clock budget."""
+
+    def __init__(self, stage: str, budget_s: float, elapsed_s: float) -> None:
+        self.stage = stage
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"stage {stage!r} exceeded its {budget_s:.3g}s budget "
+            f"(elapsed {elapsed_s:.3g}s)"
+        )

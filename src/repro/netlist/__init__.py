@@ -16,6 +16,7 @@ from repro.netlist.graph import (
     connectivity_matrix,
 )
 from repro.netlist.io import netlist_to_json, netlist_from_json, save_netlist, load_netlist
+from repro.netlist.validate import netlist_problems, validate_netlist
 from repro.netlist.verilog import netlist_to_verilog, save_verilog
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "netlist_from_json",
     "save_netlist",
     "load_netlist",
+    "netlist_problems",
+    "validate_netlist",
     "netlist_to_verilog",
     "save_verilog",
 ]

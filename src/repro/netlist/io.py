@@ -9,8 +9,10 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import NetlistValidationError
 from repro.netlist.cell import CellType
 from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
 
 _FORMAT_VERSION = 1
 
@@ -47,22 +49,39 @@ def netlist_to_json(netlist: Netlist) -> dict:
 def netlist_from_json(doc: dict) -> Netlist:
     """Rebuild a netlist from :func:`netlist_to_json` output."""
     if doc.get("format") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported netlist format {doc.get('format')!r}")
+        raise NetlistValidationError(
+            f"unsupported netlist format {doc.get('format')!r} "
+            f"(this build reads format {_FORMAT_VERSION})"
+        )
     netlist = Netlist(doc["name"])
     netlist.target_freq_mhz = doc.get("target_freq_mhz")
-    for cdoc in doc["cells"]:
-        netlist.add_cell(
-            cdoc["name"],
-            CellType(cdoc["ctype"]),
-            is_datapath=cdoc.get("is_datapath"),
-            fixed_xy=tuple(cdoc["fixed_xy"]) if cdoc.get("fixed_xy") else None,
-            attrs=cdoc.get("attrs") or {},
-        )
-    for ndoc in doc["nets"]:
-        netlist.add_net(ndoc["name"], ndoc["driver"], ndoc["sinks"], weight=ndoc.get("weight", 1.0))
-    for chain in doc["macros"]:
-        netlist.add_macro(chain)
-    netlist.validate()
+    try:
+        for cdoc in doc["cells"]:
+            netlist.add_cell(
+                cdoc["name"],
+                CellType(cdoc["ctype"]),
+                is_datapath=cdoc.get("is_datapath"),
+                fixed_xy=tuple(cdoc["fixed_xy"]) if cdoc.get("fixed_xy") else None,
+                attrs=cdoc.get("attrs") or {},
+            )
+        for ndoc in doc["nets"]:
+            netlist.add_net(
+                ndoc["name"], ndoc["driver"], ndoc["sinks"], weight=ndoc.get("weight", 1.0)
+            )
+        for chain in doc["macros"]:
+            netlist.add_macro(chain)
+        netlist.validate()
+    except NetlistValidationError:
+        raise
+    except (ValueError, IndexError, KeyError) as exc:
+        # construction errors become one typed, cause-chained diagnostic:
+        # a net referencing a missing cell index dangles, a repeated cell
+        # name collides, etc.
+        raise NetlistValidationError(
+            f"netlist document {netlist.name!r} is invalid ({exc}); if the "
+            "net references a missing cell index it dangles — regenerate or "
+            "repair the document"
+        ) from exc
     return netlist
 
 
@@ -71,4 +90,12 @@ def save_netlist(netlist: Netlist, path: str | Path) -> None:
 
 
 def load_netlist(path: str | Path) -> Netlist:
-    return netlist_from_json(json.loads(Path(path).read_text()))
+    """Load and fully validate a netlist document.
+
+    Raises:
+        NetlistValidationError: On format mismatch or any structural
+            problem, listing every violation found.
+    """
+    netlist = netlist_from_json(json.loads(Path(path).read_text()))
+    validate_netlist(netlist)
+    return netlist

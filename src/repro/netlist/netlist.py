@@ -6,6 +6,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.errors import NetlistValidationError
 from repro.netlist.cell import Cell, CellType
 from repro.netlist.macros import CascadeMacro
 from repro.netlist.net import Net
@@ -161,22 +162,27 @@ class Netlist:
     # validation and stats
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Check structural invariants; raise ``ValueError`` on violation."""
+        """Check structural invariants; raise :class:`NetlistValidationError`
+        (a ``ValueError`` subclass) on the first violation. For a full list
+        of problems plus device cross-checks, see
+        :func:`repro.netlist.validate.netlist_problems`."""
         seen_macro_members: set[int] = set()
         for macro in self.macros:
             macro.validate()
             for idx in macro.dsps:
                 if idx in seen_macro_members:
-                    raise ValueError(f"DSP index {idx} appears in two macros")
+                    raise NetlistValidationError(f"DSP index {idx} appears in two macros")
                 seen_macro_members.add(idx)
                 if self.cells[idx].macro_id != macro.macro_id:
-                    raise ValueError(f"cell {idx} macro_id out of sync")
+                    raise NetlistValidationError(f"cell {idx} macro_id out of sync")
         for net in self.nets:
             for idx in net.cells:
                 if not 0 <= idx < len(self.cells):
-                    raise ValueError(f"net {net.name!r} references unknown cell {idx}")
+                    raise NetlistValidationError(
+                        f"net {net.name!r} references unknown cell {idx}"
+                    )
         if len(self._cell_names) != len(self.cells):
-            raise ValueError("cell name map out of sync")
+            raise NetlistValidationError("cell name map out of sync")
 
     def stats(self, dsp_capacity: int | None = None) -> NetlistStats:
         counts = Counter(c.ctype for c in self.cells)

@@ -1,0 +1,35 @@
+"""Pipeline resilience layer.
+
+Three cooperating pieces (see ``docs/ROBUSTNESS.md``):
+
+- :mod:`repro.robustness.health` — :class:`RunHealth`, the per-run incident
+  log attached to :class:`~repro.core.DSPlacerResult`;
+- :mod:`repro.robustness.guard` — :class:`SolverGuard`, wall-clock stage
+  budgets + deterministic solver fallback chains;
+- :mod:`repro.robustness.faults` — :class:`FaultInjector`, deterministic
+  fault injection used by the chaos test suite to prove every fallback path
+  actually engages.
+"""
+
+from repro.robustness.faults import (
+    EVERY_CALL,
+    FaultInjector,
+    active_injector,
+    inject,
+    maybe_fault,
+)
+from repro.robustness.guard import RECOVERABLE, SolverGuard
+from repro.robustness.health import KINDS, HealthEvent, RunHealth
+
+__all__ = [
+    "RunHealth",
+    "HealthEvent",
+    "KINDS",
+    "SolverGuard",
+    "RECOVERABLE",
+    "FaultInjector",
+    "EVERY_CALL",
+    "inject",
+    "maybe_fault",
+    "active_injector",
+]

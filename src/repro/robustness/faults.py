@@ -1,0 +1,118 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+Every guarded stage calls :func:`maybe_fault` with its stage name before
+doing real work. With no injector installed that is a no-op costing one
+global read; under :func:`inject` the active :class:`FaultInjector` counts
+the call and — if a scripted fault matches this stage and call number —
+stalls (``time.sleep``) and/or raises a typed error. Faults are scripted
+up-front and keyed on (stage, Nth call), so a chaos test replays bit-for-bit.
+
+Instrumented stage names:
+
+- ``assignment.mcf`` / ``assignment.lsa`` / ``assignment.auction`` — one
+  per-iterate assignment solve on that engine;
+- ``legalization.ilp`` / ``legalization.greedy`` — one inter-column attempt;
+- ``incremental`` — one other-component re-place (outer iteration);
+- ``prototype`` — the initial base-placer run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SolverConvergenceError
+
+__all__ = ["FaultInjector", "inject", "maybe_fault", "active_injector"]
+
+#: matches every call of a stage when used as the ``call`` argument
+EVERY_CALL = 0
+
+
+@dataclass(frozen=True)
+class _Fault:
+    stage: str
+    call: int  # 1-based Nth call; EVERY_CALL matches all
+    exc: Exception | None
+    stall_s: float
+
+
+@dataclass
+class FaultInjector:
+    """Scripted, counted faults. Install with :func:`inject`."""
+
+    _faults: list[_Fault] = field(default_factory=list)
+    _counts: dict[str, int] = field(default_factory=dict)
+    _fired: list[tuple[str, int]] = field(default_factory=list)
+
+    # -- scripting ------------------------------------------------------
+    def fail_on(
+        self, stage: str, call: int = 1, exc: Exception | None = None
+    ) -> "FaultInjector":
+        """Make ``stage`` raise on its ``call``-th invocation.
+
+        ``exc`` defaults to a :class:`SolverConvergenceError`; pass
+        ``call=EVERY_CALL`` (0) to fail every invocation.
+        """
+        exc = exc if exc is not None else SolverConvergenceError(
+            f"injected fault in {stage!r}"
+        )
+        self._faults.append(_Fault(stage=stage, call=call, exc=exc, stall_s=0.0))
+        return self
+
+    def stall_on(self, stage: str, call: int = 1, seconds: float = 0.05) -> "FaultInjector":
+        """Make ``stage`` sleep ``seconds`` on its ``call``-th invocation."""
+        self._faults.append(_Fault(stage=stage, call=call, exc=None, stall_s=seconds))
+        return self
+
+    # -- runtime --------------------------------------------------------
+    def fire(self, stage: str) -> None:
+        """Count one call of ``stage`` and apply any matching fault."""
+        n = self._counts.get(stage, 0) + 1
+        self._counts[stage] = n
+        for fault in self._faults:
+            if fault.stage != stage or fault.call not in (EVERY_CALL, n):
+                continue
+            self._fired.append((stage, n))
+            if fault.stall_s > 0:
+                import time
+
+                time.sleep(fault.stall_s)
+            if fault.exc is not None:
+                raise fault.exc
+
+    # -- inspection -----------------------------------------------------
+    def calls(self, stage: str) -> int:
+        """How many times ``stage`` has run under this injector."""
+        return self._counts.get(stage, 0)
+
+    @property
+    def fired(self) -> list[tuple[str, int]]:
+        """(stage, call_number) of every fault that actually triggered."""
+        return list(self._fired)
+
+
+_active: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    return _active
+
+
+def maybe_fault(stage: str) -> None:
+    """Hook called by instrumented stages; no-op unless an injector is live."""
+    if _active is not None:
+        _active.fire(stage)
+
+
+@contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` process-wide for the duration of the block."""
+    global _active
+    prev = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = prev

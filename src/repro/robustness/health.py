@@ -1,0 +1,89 @@
+"""Run-health accounting: every incident the resilience layer absorbs.
+
+A :class:`RunHealth` rides along on :class:`~repro.core.DSPlacerResult` and
+records, in order, every fallback, budget hit, rollback and validation
+warning the pipeline survived. ``degraded`` flips to True only when the
+result itself is affected — a stage was abandoned, rolled back, or
+truncated — not when a fallback engine quietly produced an equivalent
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Incident kinds, in roughly increasing severity.
+KINDS = ("warning", "retry", "fallback", "budget", "failure", "rollback")
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One incident: which stage, what kind, human-readable detail."""
+
+    stage: str
+    kind: str  # one of KINDS
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.stage}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class RunHealth:
+    """Ordered incident log + the overall degraded verdict for one run."""
+
+    events: list[HealthEvent] = field(default_factory=list)
+    degraded: bool = False
+
+    def record(self, stage: str, kind: str, detail: str) -> HealthEvent:
+        if kind not in KINDS:
+            raise ValueError(f"unknown health event kind {kind!r}")
+        event = HealthEvent(stage=stage, kind=kind, detail=detail)
+        self.events.append(event)
+        return event
+
+    def warn(self, stage: str, detail: str) -> HealthEvent:
+        return self.record(stage, "warning", detail)
+
+    # ------------------------------------------------------------------
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return self.count("fallback")
+
+    @property
+    def n_rollbacks(self) -> int:
+        return self.count("rollback")
+
+    @property
+    def n_budget_hits(self) -> int:
+        return self.count("budget")
+
+    @property
+    def n_warnings(self) -> int:
+        return self.count("warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when the run saw no incidents at all."""
+        return not self.events and not self.degraded
+
+    def of_stage(self, stage: str) -> list[HealthEvent]:
+        return [e for e in self.events if e.stage == stage]
+
+    # ------------------------------------------------------------------
+    def summary(self, verbose: bool = True) -> str:
+        """Multi-line human summary (the CLI prints this to stderr)."""
+        if self.ok:
+            return "health: ok (no incidents)"
+        state = "degraded" if self.degraded else "recovered"
+        head = (
+            f"health: {state} — {self.n_fallbacks} fallback(s), "
+            f"{self.n_rollbacks} rollback(s), {self.n_budget_hits} budget hit(s), "
+            f"{self.n_warnings} warning(s)"
+        )
+        if not verbose:
+            return head
+        return "\n".join([head, *(f"  {e}" for e in self.events)])

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import SolverConvergenceError, SolverInputError
+
 
 def auction_assignment(
     cost: np.ndarray,
@@ -38,7 +40,7 @@ def auction_assignment(
     cost = np.asarray(cost, dtype=np.float64)
     n, m = cost.shape
     if n > m:
-        raise ValueError("auction_assignment requires n_rows <= n_cols")
+        raise SolverInputError("auction_assignment requires n_rows <= n_cols")
     if n == 0:
         return np.zeros(0, dtype=np.int64), 0.0
     benefit = -cost  # auction maximizes
@@ -65,7 +67,7 @@ def auction_assignment(
     while (col_of < 0).any():
         rounds += 1
         if rounds > max_rounds:
-            raise RuntimeError("auction did not converge (max_rounds)")
+            raise SolverConvergenceError("auction did not converge (max_rounds)")
         bidders = np.flatnonzero(col_of < 0)
         values = benefit[bidders] - prices[None, :]
         best_j = np.argmax(values, axis=1)

@@ -10,6 +10,8 @@ import math
 
 import numpy as np
 
+from repro.errors import SolverInputError
+
 
 def hungarian(cost: np.ndarray) -> tuple[np.ndarray, float]:
     """Solve the rectangular assignment problem.
@@ -24,7 +26,7 @@ def hungarian(cost: np.ndarray) -> tuple[np.ndarray, float]:
     cost = np.asarray(cost, dtype=np.float64)
     n, m = cost.shape
     if n > m:
-        raise ValueError("hungarian() requires n_rows <= n_cols")
+        raise SolverInputError("hungarian() requires n_rows <= n_cols")
     INF = math.inf
     # 1-based potentials over rows (u) and columns (v); p[j] = row matched to col j
     u = [0.0] * (n + 1)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.errors import SolverInputError
 from repro.solvers.simplex import solve_lp_simplex
 
 _INT_TOL = 1e-6
@@ -86,7 +87,7 @@ def solve_ilp(
     if status == "infeasible":
         return ILPResult("infeasible", None, None, 1)
     if status == "unbounded":
-        raise ValueError("ILP relaxation is unbounded; add finite bounds")
+        raise SolverInputError("ILP relaxation is unbounded; add finite bounds")
     heap: list[tuple[float, int, list[tuple[float, float]], ]] = [(obj0, next(counter), bounds)]
 
     while heap and n_nodes < max_nodes:

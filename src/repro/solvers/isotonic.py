@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SolverInfeasibleError, SolverInputError
+
 
 @dataclass(frozen=True)
 class ColumnBlock:
@@ -47,14 +49,14 @@ def legalize_column_rows(blocks: list[ColumnBlock], m_rows: int) -> list[int]:
     within ``[0, m_rows)``.
 
     Raises:
-        ValueError: If the blocks cannot fit in the column.
+        SolverInfeasibleError: If the blocks cannot fit in the column.
     """
     if not blocks:
         return []
     sizes = [b.size for b in blocks]
     total = sum(sizes)
     if total > m_rows:
-        raise ValueError(f"blocks need {total} rows but the column has {m_rows}")
+        raise SolverInfeasibleError(f"blocks need {total} rows but the column has {m_rows}")
 
     n_blocks = len(blocks)
     prefix = np.concatenate(([0], np.cumsum(sizes)))  # rows consumed before block j
@@ -101,7 +103,7 @@ def legalize_column_rows(blocks: list[ColumnBlock], m_rows: int) -> list[int]:
         prev = dp
 
     if not np.isfinite(prev).any():
-        raise ValueError("no feasible block packing (should not happen when they fit)")
+        raise SolverInfeasibleError("no feasible block packing (should not happen when they fit)")
 
     # backtrack
     starts = [0] * n_blocks
@@ -126,7 +128,7 @@ def l1_isotonic(values: np.ndarray, weights: np.ndarray | None = None) -> np.nda
         return values.copy()
     weights = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
     if weights.size != n or np.any(weights <= 0):
-        raise ValueError("weights must be positive and match values")
+        raise SolverInputError("weights must be positive and match values")
 
     # Each pool keeps its member (value, weight) pairs; level = weighted median.
     pools: list[list[int]] = []  # member indices

@@ -16,6 +16,8 @@ import heapq
 import math
 from dataclasses import dataclass
 
+from repro.errors import SolverInfeasibleError, SolverInputError
+
 
 class MinCostFlow:
     """A directed flow network with per-edge capacity and cost.
@@ -26,7 +28,7 @@ class MinCostFlow:
 
     def __init__(self, n_nodes: int) -> None:
         if n_nodes <= 0:
-            raise ValueError("network needs at least one node")
+            raise SolverInputError("network needs at least one node")
         self.n = n_nodes
         self._to: list[int] = []
         self._cap: list[float] = []
@@ -38,7 +40,7 @@ class MinCostFlow:
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise IndexError(f"edge ({u}, {v}) out of range")
         if cap < 0:
-            raise ValueError("negative capacity")
+            raise SolverInputError("negative capacity")
         eid = len(self._to)
         self._to.extend((v, u))
         self._cap.extend((float(cap), 0.0))
@@ -82,7 +84,7 @@ class MinCostFlow:
         state, so edge flows can be read back via :meth:`flow_on`.
         """
         if s == t:
-            raise ValueError("source equals sink")
+            raise SolverInputError("source equals sink")
         has_negative = any(
             self._cost[eid] < 0 and self._cap[eid] > 0 for eid in range(0, len(self._to), 2)
         )
@@ -161,7 +163,7 @@ def min_cost_assignment(
         ``{agent: slot}`` covering all agents.
 
     Raises:
-        ValueError: If no feasible complete assignment exists.
+        SolverInfeasibleError: If no feasible complete assignment exists.
     """
     if n_agents == 0:
         return {}
@@ -186,7 +188,7 @@ def min_cost_assignment(
 
     flow, _cost = net.min_cost_flow(s, t, n_agents)
     if flow < n_agents - 1e-9:
-        raise ValueError(
+        raise SolverInfeasibleError(
             f"infeasible assignment: only {flow:.0f} of {n_agents} agents placeable"
         )
     result: dict[int, int] = {}

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SolverInputError
+
 _EPS = 1e-9
 
 
@@ -126,11 +128,11 @@ def solve_lp_simplex(
     n = c.size
     bounds = bounds or [(0.0, math.inf)] * n
     if len(bounds) != n:
-        raise ValueError("bounds length mismatch")
+        raise SolverInputError("bounds length mismatch")
     lo = np.array([b[0] for b in bounds])
     hi = np.array([math.inf if b[1] is None else b[1] for b in bounds])
     if np.any(~np.isfinite(lo)):
-        raise ValueError("free/unbounded-below variables are not supported")
+        raise SolverInputError("free/unbounded-below variables are not supported")
 
     rows_ub: list[np.ndarray] = []
     rhs_ub: list[float] = []

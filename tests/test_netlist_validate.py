@@ -1,0 +1,115 @@
+"""Netlist/device validation: actionable diagnostics, permissive downgrade."""
+
+import json
+
+import pytest
+
+from repro.core import DSPlacer, DSPlacerConfig
+from repro.errors import NetlistValidationError, ReproError
+from repro.netlist import (
+    CellType,
+    Netlist,
+    load_netlist,
+    netlist_problems,
+    netlist_to_json,
+    validate_netlist,
+)
+
+
+def _base_netlist():
+    nl = Netlist("v")
+    pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+    dsps = [nl.add_cell(f"d{i}", CellType.DSP) for i in range(3)]
+    nl.add_net("seed", pad, [dsps[0]])
+    nl.add_net("c0", dsps[0], [dsps[1]])
+    return nl, dsps
+
+
+class TestNetlistProblems:
+    def test_clean_netlist_has_no_problems(self, mini_accel, small_dev):
+        assert netlist_problems(mini_accel, small_dev) == []
+
+    def test_dangling_net_reported(self):
+        nl, _ = _base_netlist()
+        # corrupt a net to dangle past the cell list (bypasses add_net checks)
+        object.__setattr__(nl.nets[0], "sinks", (99,))
+        problems = netlist_problems(nl)
+        assert any("dangles" in p and "99" in p for p in problems)
+
+    def test_duplicate_cell_names_reported(self):
+        nl, _ = _base_netlist()
+        nl.cells[1].name = "pad"  # collide with the IO pad
+        problems = netlist_problems(nl)
+        assert any("duplicate cell name 'pad'" in p for p in problems)
+
+    def test_dsp_overflow_vs_device(self, small_dev):
+        nl = Netlist("big")
+        pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+        dsps = [nl.add_cell(f"d{i}", CellType.DSP) for i in range(small_dev.n_dsp + 1)]
+        nl.add_net("seed", pad, [dsps[0]])
+        problems = netlist_problems(nl, small_dev)
+        assert any("DSP sites" in p and "--scale" in p for p in problems)
+
+    def test_macro_longer_than_any_column(self, small_dev):
+        tallest = max(c.n_sites for c in small_dev.kind_columns("DSP"))
+        nl = Netlist("long")
+        pad = nl.add_cell("pad", CellType.IO, fixed_xy=(0.0, 0.0))
+        dsps = [nl.add_cell(f"d{i}", CellType.DSP) for i in range(tallest + 1)]
+        nl.add_net("seed", pad, [dsps[0]])
+        nl.add_macro(dsps)
+        problems = netlist_problems(nl, small_dev)
+        assert any("tallest DSP column" in p for p in problems)
+
+    def test_validate_netlist_raises_with_all_problems(self, small_dev):
+        nl, _ = _base_netlist()
+        nl.cells[1].name = "pad"
+        object.__setattr__(nl.nets[0], "sinks", (99,))
+        with pytest.raises(NetlistValidationError) as err:
+            validate_netlist(nl, small_dev)
+        msg = str(err.value)
+        assert "duplicate cell name" in msg and "dangles" in msg
+        assert isinstance(err.value, ValueError)  # backward compatible
+        assert isinstance(err.value, ReproError)
+
+
+class TestLoadValidates:
+    def test_load_netlist_rejects_dangling(self, tmp_path, mini_accel):
+        doc = netlist_to_json(mini_accel)
+        doc["nets"][0]["sinks"] = [len(doc["cells"]) + 7]
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(doc))
+        with pytest.raises(NetlistValidationError, match="dangle"):
+            load_netlist(p)
+
+    def test_roundtrip_still_works(self, tmp_path, mini_accel):
+        p = tmp_path / "ok.json"
+        p.write_text(json.dumps(netlist_to_json(mini_accel)))
+        assert len(load_netlist(p).cells) == len(mini_accel.cells)
+
+
+class TestPlacerIntegration:
+    def test_strict_placer_rejects_invalid(self, small_dev, mini_accel):
+        nl = mini_accel
+        # sneak in a duplicate name on a copy via JSON round-trip
+        from repro.netlist import netlist_from_json
+
+        bad = netlist_from_json(netlist_to_json(nl))
+        bad.cells[1].name = bad.cells[0].name
+        placer = DSPlacer(
+            small_dev, DSPlacerConfig(identification="oracle", strict=True)
+        )
+        with pytest.raises(NetlistValidationError):
+            placer.place(bad)
+
+    def test_permissive_placer_downgrades_to_warning(self, small_dev, mini_accel):
+        from repro.netlist import netlist_from_json
+
+        bad = netlist_from_json(netlist_to_json(mini_accel))
+        bad.cells[1].name = bad.cells[0].name
+        placer = DSPlacer(
+            small_dev, DSPlacerConfig(identification="oracle", mcf_iterations=3)
+        )
+        res = placer.place(bad)
+        assert res.placement.is_legal()
+        assert res.health.n_warnings >= 1
+        assert any(e.stage == "validation" for e in res.health.events)
