@@ -3,9 +3,17 @@
 ```
 python -m repro generate --suite skynet --scale 0.1 -o skynet.json
 python -m repro place    --suite skrskr1 --scale 0.1 --tool dsplacer
+python -m repro place    --suite skynet --scale 0.05 --tool dsplacer --json
 python -m repro report   --suite skynet --scale 0.1 --tool vivado --paths 5
 python -m repro experiment table1
 ```
+
+``place``/``report`` accept the observability flags: ``--json`` writes a
+schema-valid :class:`~repro.obs.RunReport` document to stdout (everything
+human-readable moves to stderr), ``--trace`` prints the span tree,
+``--quiet`` silences the informational stderr chatter, and
+``--config FILE`` overrides :class:`~repro.core.DSPlacerConfig` knobs from
+a JSON object (unknown keys are rejected).
 
 Typed pipeline errors (:class:`repro.errors.ReproError`) exit with code 2
 and a one-line message instead of a traceback; ``--strict`` makes the
@@ -16,16 +24,61 @@ DSPlacer flow raise on any stage failure instead of degrading gracefully
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 
+from repro import obs
 from repro.accelgen import SUITE_NAMES, generate_suite
-from repro.core import DSPlacer, DSPlacerConfig
-from repro.errors import ReproError
+from repro.core import DSPlacerConfig
+from repro.errors import ConfigurationError, ReproError
 from repro.fpga import scaled_zcu104
 from repro.netlist import save_netlist
-from repro.placers import AMFLikePlacer, VivadoLikePlacer
+from repro.obs import RunReport, render_trace, trace
+from repro.placers.api import PLACER_NAMES, get_placer
 from repro.router import GlobalRouter
 from repro.timing import StaticTimingAnalyzer, format_timing_report, max_frequency
+
+
+class ReportEmitter:
+    """Routes CLI output: human text to stderr, machine artifacts to stdout.
+
+    Under ``--json`` stdout is reserved for the RunReport document, so the
+    one-line result summary moves to stderr with the rest of the chatter;
+    ``--quiet`` drops the informational lines entirely (the report and hard
+    errors still come through).
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.json_out: bool = getattr(args, "json", False)
+        self.trace_out: bool = getattr(args, "trace", False)
+        self.quiet: bool = getattr(args, "quiet", False)
+
+    @property
+    def observing(self) -> bool:
+        """Whether the run should collect spans/metrics at all."""
+        return self.json_out or self.trace_out
+
+    def info(self, message: str) -> None:
+        """Informational line (health summaries, stats) — stderr, quietable."""
+        if not self.quiet:
+            print(message, file=sys.stderr)
+
+    def result(self, line: str) -> None:
+        """The one-line run summary — stdout, unless stdout carries JSON."""
+        if self.json_out:
+            self.info(line)
+        else:
+            print(line)
+
+    def emit(self, report: RunReport | None) -> None:
+        """Final artifacts: span tree under ``--trace``, JSON under ``--json``."""
+        if report is None:
+            return
+        if self.trace_out:
+            print(render_trace(report.spans), file=sys.stderr)
+        if self.json_out:
+            print(report.to_json())
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -56,43 +109,119 @@ def _add_robustness(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_output(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="write a RunReport JSON document to stdout (text moves to stderr)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree (wall/CPU per stage) to stderr",
+    )
+    p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational stderr output (health summary, stats)",
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON file of DSPlacerConfig overrides (unknown keys rejected)",
+    )
+
+
+def _dsplacer_config(args: argparse.Namespace) -> DSPlacerConfig:
+    """Merge CLI flags with an optional ``--config`` JSON file.
+
+    File keys override flags; unknown keys raise
+    :class:`~repro.errors.ConfigurationError` via
+    :meth:`DSPlacerConfig.from_dict`.
+    """
+    doc: dict = {
+        "identification": "heuristic",
+        "seed": args.seed,
+        "strict": getattr(args, "strict", False),
+        "stage_budget_s": getattr(args, "stage_budget", None),
+    }
+    path = getattr(args, "config", None)
+    if path:
+        try:
+            with open(path) as fh:
+                overrides = json.load(fh)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read --config {path!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"--config {path!r} is not valid JSON: {exc}") from exc
+        if not isinstance(overrides, dict):
+            raise ConfigurationError(
+                f"--config {path!r} must hold a JSON object of DSPlacerConfig keys"
+            )
+        doc.update(overrides)
+    return DSPlacerConfig.from_dict(doc)
+
+
 def _place(args) -> int:
+    emitter = ReportEmitter(args)
     device = scaled_zcu104(args.scale)
     netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
-    print(f"{netlist.stats(device.n_dsp)}", file=sys.stderr)
-    if args.tool == "vivado":
-        placement = VivadoLikePlacer(seed=args.seed).place(netlist, device)
-    elif args.tool == "amf":
-        placement = AMFLikePlacer(seed=args.seed).place(netlist, device)
-    else:
-        result = DSPlacer(
-            device,
-            DSPlacerConfig(
-                identification="heuristic",
-                seed=args.seed,
-                strict=getattr(args, "strict", False),
-                stage_budget_s=getattr(args, "stage_budget", None),
-            ),
-        ).place(netlist)
-        placement = result.placement
-        print(
+    emitter.info(f"{netlist.stats(device.n_dsp)}")
+    config = _dsplacer_config(args)
+    placer = get_placer(args.tool, device, seed=args.seed, config=config)
+
+    ob_ctx = obs.observe() if emitter.observing else nullcontext(None)
+    with ob_ctx as ob:
+        with trace.span("run", tool=args.tool, suite=args.suite, scale=args.scale):
+            placement = placer.place(netlist)
+            route = GlobalRouter().route(placement)
+            sta = StaticTimingAnalyzer(netlist)
+            fmax = max_frequency(sta, placement, route)
+            rep = sta.analyze(placement, route)
+
+    health = None
+    if args.tool == "dsplacer":
+        result = placer.last_result
+        emitter.info(
             f"datapath DSPs: {result.n_datapath_dsps} "
-            f"(identification acc {result.identification.accuracy:.0%})",
-            file=sys.stderr,
+            f"(identification acc {result.identification.accuracy:.0%})"
         )
-        print(result.health.summary(), file=sys.stderr)
-    route = GlobalRouter().route(placement)
-    sta = StaticTimingAnalyzer(netlist)
-    fmax = max_frequency(sta, placement, route)
-    rep = sta.analyze(placement, route)
-    print(
+        emitter.info(result.health.summary())
+        health = result.health.to_dict()
+    emitter.result(
         f"tool={args.tool} suite={args.suite} scale={args.scale} "
         f"legal={placement.is_legal()} hpwl={placement.hpwl():.4g} "
         f"routed_wl={route.total_wirelength:.4g} wns={rep.wns_ns:+.3f} "
         f"tns={rep.tns_ns:+.1f} fmax={fmax:.0f}MHz"
     )
     if getattr(args, "paths", 0):
-        print(format_timing_report(rep, netlist, k_paths=args.paths))
+        timing_text = format_timing_report(rep, netlist, k_paths=args.paths)
+        if emitter.json_out:
+            emitter.info(timing_text)
+        else:
+            print(timing_text)
+    if ob is not None:
+        report = RunReport.from_observation(
+            ob,
+            meta={
+                "tool": args.tool,
+                "suite": args.suite,
+                "scale": args.scale,
+                "seed": args.seed,
+                "config": config.to_dict(),
+            },
+            health=health,
+            quality={
+                "legal": bool(placement.is_legal()),
+                "hpwl_um": float(placement.hpwl()),
+                "routed_wl_um": float(route.total_wirelength),
+                "wns_ns": float(rep.wns_ns),
+                "tns_ns": float(rep.tns_ns),
+                "fmax_mhz": float(fmax),
+            },
+        )
+        emitter.emit(report)
     if getattr(args, "svg", None):
         from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
         from repro.eval.visualization import placement_to_svg
@@ -102,7 +231,7 @@ def _place(args) -> int:
             {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()},
         )
         placement_to_svg(placement, graph, path=args.svg, title=f"{args.suite} — {args.tool}")
-        print(f"svg: {args.svg}", file=sys.stderr)
+        emitter.info(f"svg: {args.svg}")
     return 0
 
 
@@ -156,14 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("place", help="place a suite and report PPA")
     _add_common(p)
     _add_robustness(p)
-    p.add_argument("--tool", default="dsplacer", choices=("vivado", "amf", "dsplacer"))
+    _add_output(p)
+    p.add_argument("--tool", default="dsplacer", choices=PLACER_NAMES)
     p.add_argument("--svg", default=None, help="write a layout SVG")
     p.set_defaults(func=_place, paths=0)
 
     r = sub.add_parser("report", help="place and print a timing report")
     _add_common(r)
     _add_robustness(r)
-    r.add_argument("--tool", default="vivado", choices=("vivado", "amf", "dsplacer"))
+    _add_output(r)
+    r.add_argument("--tool", default="vivado", choices=PLACER_NAMES)
     r.add_argument("--paths", type=int, default=5)
     r.set_defaults(func=_place, svg=None)
 

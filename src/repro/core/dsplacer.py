@@ -13,6 +13,12 @@ Ties the full flow together:
 4. emit the final placement; routing/STA are the caller's (see
    :mod:`repro.eval`), matching the paper's use of external PnR.
 
+Run under :func:`repro.obs.observe` the flow emits a full span tree
+(``place`` → ``place.prototype`` / ``place.extraction`` / per-iteration
+``place.outer`` → ``place.assignment`` / ``place.legalization`` /
+``place.incremental``) and attaches the :class:`~repro.obs.RunReport`
+snapshot to ``result.report``.
+
 Example:
     >>> from repro.fpga import small_device
     >>> from repro.accelgen import generate_suite
@@ -27,7 +33,7 @@ Example:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
@@ -45,6 +51,9 @@ from repro.fpga.device import Device
 from repro.ml.train import GraphSample
 from repro.netlist.netlist import Netlist
 from repro.netlist.validate import netlist_problems
+from repro.obs import active as obs_active
+from repro.obs import metrics, trace
+from repro.obs.report import RunReport
 from repro.placers.amf_like import AMFLikePlacer
 from repro.placers.placement import Placement
 from repro.placers.vivado_like import VivadoLikePlacer
@@ -104,6 +113,34 @@ class DSPlacerConfig:
     #: solver attempts and linearization iterates, never preemptive.
     stage_budget_s: float | None = None
 
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict view of every knob; round-trips via :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DSPlacerConfig":
+        """Build a config from a plain dict, rejecting unknown keys.
+
+        Raises:
+            ConfigurationError: If ``doc`` is not a mapping or contains a
+                key that is not a :class:`DSPlacerConfig` field — typo
+                protection for ``--config`` files.
+        """
+        if not isinstance(doc, dict):
+            raise ConfigurationError(
+                f"DSPlacer config must be a JSON object, got {type(doc).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ConfigurationError(
+                "unknown DSPlacer config key(s): "
+                + ", ".join(repr(k) for k in unknown)
+                + f"; known keys: {', '.join(sorted(known))}"
+            )
+        return cls(**doc)
+
 
 @dataclass
 class DSPlacerResult:
@@ -119,10 +156,71 @@ class DSPlacerResult:
     #: incident log of the resilience layer; ``health.degraded`` is True
     #: when a stage failure/budget/rollback affected the result.
     health: RunHealth = field(default_factory=RunHealth)
+    #: span/metric snapshot, attached when the run executed under an active
+    #: :func:`repro.obs.observe` block; ``None`` otherwise.
+    report: RunReport | None = None
 
     @property
     def total_seconds(self) -> float:
         return sum(self.phase_seconds.values())
+
+    def to_report(self, meta: dict | None = None) -> RunReport:
+        """This result as a :class:`~repro.obs.RunReport`.
+
+        Uses the attached observation snapshot when the run was traced;
+        otherwise synthesizes a minimal span tree from
+        :attr:`phase_seconds` so consumers see one uniform schema either
+        way.
+        """
+        if self.report is not None:
+            if meta:
+                self.report.meta.update(meta)
+            return self.report
+        spans = [
+            {
+                "name": "place",
+                "attrs": {"synthesized": True},
+                "counters": {},
+                "wall_s": float(self.total_seconds),
+                "cpu_s": 0.0,
+                "children": [
+                    {
+                        "name": f"place.{name}",
+                        "attrs": {},
+                        "counters": {},
+                        "wall_s": float(secs),
+                        "cpu_s": 0.0,
+                        "children": [],
+                    }
+                    for name, secs in self.phase_seconds.items()
+                ],
+            }
+        ]
+        gauges = {
+            "extraction.datapath_dsps": float(self.n_datapath_dsps),
+            "extraction.dsp_graph_nodes": float(self.dsp_graph_nodes),
+            "extraction.dsp_graph_edges": float(self.dsp_graph_edges),
+        }
+        return RunReport(
+            meta=dict(meta or {}),
+            spans=spans,
+            metrics={"counters": {}, "gauges": gauges, "histograms": {}},
+            health=self.health.to_dict(),
+            quality=self._quality(),
+        )
+
+    def to_dict(self, meta: dict | None = None) -> dict:
+        """JSON-ready view of the result (the RunReport document)."""
+        return self.to_report(meta=meta).to_dict()
+
+    def _quality(self) -> dict:
+        return {
+            "legal": bool(self.placement.is_legal()),
+            "hpwl_um": float(self.placement.hpwl()),
+            "n_datapath_dsps": int(self.n_datapath_dsps),
+            "dsp_graph_nodes": int(self.dsp_graph_nodes),
+            "dsp_graph_edges": int(self.dsp_graph_edges),
+        }
 
 
 class DSPlacer:
@@ -148,10 +246,17 @@ class DSPlacer:
 
     def _base_placer(self):
         if self.config.base_placer == "vivado":
-            return VivadoLikePlacer(seed=self.config.seed)
+            return VivadoLikePlacer(seed=self.config.seed, device=self.device)
         if self.config.base_placer == "amf":
-            return AMFLikePlacer(seed=self.config.seed)
+            return AMFLikePlacer(seed=self.config.seed, device=self.device)
         raise ConfigurationError(f"unknown base placer {self.config.base_placer!r}")
+
+    def as_placer(self):
+        """This engine behind the unified :class:`~repro.placers.api.Placer`
+        protocol (``place(netlist, *, seed=...) -> Placement``)."""
+        from repro.placers.api import DSPlacerAdapter
+
+        return DSPlacerAdapter(self)
 
     # ------------------------------------------------------------------
     def place(
@@ -177,6 +282,35 @@ class DSPlacer:
             :class:`~repro.errors.ReproError` propagates.
         """
         cfg = self.config
+        with trace.span(
+            "place",
+            netlist=netlist.name,
+            base_placer=cfg.base_placer,
+            engine=cfg.assignment_engine,
+        ) as root:
+            result = self._place_flow(netlist, initial_placement, sample)
+            root.set(degraded=result.health.degraded)
+        ob = obs_active()
+        if ob is not None:
+            metrics.gauge("placement.hpwl_um", float(result.placement.hpwl()))
+            result.report = ob.report(
+                meta={
+                    "tool": "dsplacer",
+                    "netlist": netlist.name,
+                    "config": cfg.to_dict(),
+                },
+                health=result.health.to_dict(),
+                quality=result._quality(),
+            )
+        return result
+
+    def _place_flow(
+        self,
+        netlist: Netlist,
+        initial_placement: Placement | None,
+        sample: GraphSample | None,
+    ) -> DSPlacerResult:
+        cfg = self.config
         phases: dict[str, float] = {}
         health = RunHealth()
 
@@ -195,28 +329,35 @@ class DSPlacer:
         # 1. prototype placement
         t0 = time.perf_counter()
         maybe_fault("prototype")
-        if initial_placement is None:
-            placement = self._base_placer().place(netlist, self.device)
-        else:
-            placement = initial_placement.copy()
+        with trace.span("place.prototype"):
+            if initial_placement is None:
+                placement = self._base_placer().place(netlist)
+            else:
+                placement = initial_placement.copy()
         phases["prototype_placement"] = time.perf_counter() - t0
 
         # 2. datapath DSP extraction
         t0 = time.perf_counter()
-        ident = self.identifier.predict(netlist, sample=sample)
-        # cascade macros are placement-atomic: harmonize the classifier's
-        # per-DSP labels over each chain (majority vote) so a chain is
-        # either fully datapath or fully control
-        flags = dict(ident.flags)
-        for macro in netlist.macros:
-            votes = sum(1 for i in macro.dsps if flags.get(i, False))
-            verdict = 2 * votes >= len(macro.dsps)
-            for i in macro.dsps:
-                flags[i] = verdict
-        paths = iddfs_dsp_paths(netlist, max_depth=cfg.iddfs_max_depth)
-        dsp_graph = build_dsp_graph(netlist, paths)
-        datapath_graph = prune_control_dsps(dsp_graph, flags)
-        datapath_dsps = sorted(datapath_graph.nodes)
+        with trace.span("place.extraction") as ext_sp:
+            ident = self.identifier.predict(netlist, sample=sample)
+            # cascade macros are placement-atomic: harmonize the classifier's
+            # per-DSP labels over each chain (majority vote) so a chain is
+            # either fully datapath or fully control
+            flags = dict(ident.flags)
+            for macro in netlist.macros:
+                votes = sum(1 for i in macro.dsps if flags.get(i, False))
+                verdict = 2 * votes >= len(macro.dsps)
+                for i in macro.dsps:
+                    flags[i] = verdict
+            paths = iddfs_dsp_paths(netlist, max_depth=cfg.iddfs_max_depth)
+            with trace.span("extraction.dsp_graph"):
+                dsp_graph = build_dsp_graph(netlist, paths)
+                datapath_graph = prune_control_dsps(dsp_graph, flags)
+            datapath_dsps = sorted(datapath_graph.nodes)
+            ext_sp.set(n_datapath_dsps=len(datapath_dsps))
+        metrics.gauge("extraction.datapath_dsps", len(datapath_dsps))
+        metrics.gauge("extraction.dsp_graph_nodes", dsp_graph.number_of_nodes())
+        metrics.gauge("extraction.dsp_graph_edges", dsp_graph.number_of_edges())
         phases["datapath_extraction"] = time.perf_counter() - t0
 
         result = DSPlacerResult(
@@ -272,58 +413,68 @@ class DSPlacer:
             sta = StaticTimingAnalyzer(netlist)
         for outer in range(1, cfg.outer_iterations + 1):
             budget_hit = False
-            try:
-                t0 = time.perf_counter()
-                if cfg.congestion_weight > 0:
-                    from repro.router.global_router import GlobalRouter
-
-                    assigner.set_congestion_map(
-                        GlobalRouter().route(placement).congestion
-                    )
-                if sta is not None:
-                    period = 1e3 / netlist.target_freq_mhz
-                    report = sta.analyze(placement, period_ns=period, with_slacks=True)
-                    assigner.set_criticality(report.cell_output_slack, period)
-                assign_guard = SolverGuard("assignment", health, cfg.stage_budget_s)
-                assignment, iters = assigner.solve(placement, guard=assign_guard)
-                result.mcf_iterations_used.append(iters)
-                desired = {
-                    cell: tuple(site_xy[sid]) for cell, sid in assignment.items()
-                }
-                # control DSPs join legalization at their current coordinates
-                # so the shared columns stay overlap-free
-                for i in netlist.dsp_indices():
-                    if i not in desired:
-                        desired[i] = (
-                            float(placement.xy[i, 0]),
-                            float(placement.xy[i, 1]),
-                        )
-                legal_guard = SolverGuard("legalization", health, cfg.stage_budget_s)
-                legal = legalizer.legalize(desired, guard=legal_guard)
-                for cell, sid in legal.site_of.items():
-                    placement.assign_site(cell, sid)
-                t_dsp += time.perf_counter() - t0
-                budget_hit = assign_guard.over_budget or legal_guard.over_budget
-
-                if not budget_hit:
+            with trace.span("place.outer", i=outer):
+                try:
                     t0 = time.perf_counter()
-                    maybe_fault("incremental")
-                    placement = replace_other_components(
-                        netlist, self.device, placement, datapath_dsps, seed=cfg.seed
+                    if cfg.congestion_weight > 0:
+                        from repro.router.global_router import GlobalRouter
+
+                        assigner.set_congestion_map(
+                            GlobalRouter().route(placement).congestion
+                        )
+                    if sta is not None:
+                        period = 1e3 / netlist.target_freq_mhz
+                        report = sta.analyze(
+                            placement, period_ns=period, with_slacks=True
+                        )
+                        assigner.set_criticality(report.cell_output_slack, period)
+                    assign_guard = SolverGuard("assignment", health, cfg.stage_budget_s)
+                    with trace.span("place.assignment"):
+                        assignment, iters = assigner.solve(placement, guard=assign_guard)
+                    result.mcf_iterations_used.append(iters)
+                    desired = {
+                        cell: tuple(site_xy[sid]) for cell, sid in assignment.items()
+                    }
+                    # control DSPs join legalization at their current coordinates
+                    # so the shared columns stay overlap-free
+                    for i in netlist.dsp_indices():
+                        if i not in desired:
+                            desired[i] = (
+                                float(placement.xy[i, 0]),
+                                float(placement.xy[i, 1]),
+                            )
+                    legal_guard = SolverGuard("legalization", health, cfg.stage_budget_s)
+                    with trace.span("place.legalization"):
+                        legal = legalizer.legalize(desired, guard=legal_guard)
+                        for cell, sid in legal.site_of.items():
+                            placement.assign_site(cell, sid)
+                    t_dsp += time.perf_counter() - t0
+                    budget_hit = assign_guard.over_budget or legal_guard.over_budget
+
+                    if not budget_hit:
+                        t0 = time.perf_counter()
+                        maybe_fault("incremental")
+                        with trace.span("place.incremental"):
+                            placement = replace_other_components(
+                                netlist,
+                                self.device,
+                                placement,
+                                datapath_dsps,
+                                seed=cfg.seed,
+                            )
+                        t_other += time.perf_counter() - t0
+                except ReproError as exc:
+                    if cfg.strict or best is None:
+                        raise
+                    health.record(
+                        "pipeline",
+                        "rollback",
+                        f"outer iteration {outer} failed ({exc}); rolled back to "
+                        f"best-so-far placement (HPWL {best_hpwl:.4g})",
                     )
-                    t_other += time.perf_counter() - t0
-            except ReproError as exc:
-                if cfg.strict or best is None:
-                    raise
-                health.record(
-                    "pipeline",
-                    "rollback",
-                    f"outer iteration {outer} failed ({exc}); rolled back to "
-                    f"best-so-far placement (HPWL {best_hpwl:.4g})",
-                )
-                health.degraded = True
-                placement = best.copy()
-                break
+                    health.degraded = True
+                    placement = best.copy()
+                    break
 
             if placement.is_legal():
                 hpwl = placement.hpwl()

@@ -25,6 +25,7 @@ import scipy.sparse.csgraph as csgraph
 
 from repro.netlist.graph import netlist_to_digraph
 from repro.netlist.netlist import Netlist
+from repro.obs import trace
 
 FEATURE_NAMES = (
     "closeness",
@@ -61,6 +62,11 @@ def _unweighted_csr(g: nx.DiGraph, n: int) -> sp.csr_matrix:
 def extract_node_features(netlist: Netlist, config: FeatureConfig | None = None) -> np.ndarray:
     """Compute the ``(n_cells, 7)`` feature matrix of a netlist graph."""
     config = config or FeatureConfig()
+    with trace.span("extraction.features", n_cells=len(netlist.cells)):
+        return _features_impl(netlist, config)
+
+
+def _features_impl(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
     g = netlist_to_digraph(netlist)
     n = len(netlist.cells)
     feats = np.zeros((n, len(FEATURE_NAMES)))

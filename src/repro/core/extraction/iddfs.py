@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,19 @@ def iddfs_dsp_paths(
     Returns:
         One :class:`DSPPath` per (src, dst) pair found, shortest distance.
     """
+    with trace.span("extraction.iddfs", max_depth=max_depth) as sp:
+        out = _iddfs_impl(netlist, max_depth, max_fanout, sources)
+        sp.set(n_paths=len(out))
+    metrics.inc("extraction.iddfs.paths", len(out))
+    return out
+
+
+def _iddfs_impl(
+    netlist: Netlist,
+    max_depth: int,
+    max_fanout: int,
+    sources: list[int] | None,
+) -> list[DSPPath]:
     adj: list[list[int]] = [[] for _ in netlist.cells]
     for net in netlist.nets:
         if len(net.sinks) > max_fanout:

@@ -27,6 +27,7 @@ from repro.ml.train import GraphSample, TrainResult, train_gcn
 from repro.netlist.cell import CellType
 from repro.netlist.graph import netlist_to_digraph
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 
 import scipy.sparse as sp
 
@@ -162,6 +163,16 @@ class DatapathIdentifier:
         self, netlist: Netlist, sample: GraphSample | None = None
     ) -> IdentificationResult:
         """Classify every DSP of a netlist."""
+        with trace.span("extraction.identify", method=self.method) as sp:
+            result = self._predict_impl(netlist, sample)
+            sp.set(n_dsps=len(result.flags))
+        if result.accuracy is not None:
+            metrics.gauge("extraction.identify.accuracy", float(result.accuracy))
+        return result
+
+    def _predict_impl(
+        self, netlist: Netlist, sample: GraphSample | None = None
+    ) -> IdentificationResult:
         dsps = netlist.dsp_indices()
         if self.method == "oracle":
             flags = {i: bool(netlist.cells[i].is_datapath) for i in dsps}

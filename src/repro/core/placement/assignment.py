@@ -39,6 +39,7 @@ from repro.errors import (
 from repro.fpga.device import Device
 from repro.netlist.graph import connectivity_matrix
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 from repro.robustness.faults import maybe_fault
 from repro.robustness.guard import SolverGuard
@@ -232,6 +233,7 @@ class DatapathDSPAssigner:
         cfg = self.config
         n, m = cost.shape
         maybe_fault(f"assignment.{engine}")
+        metrics.inc(f"assignment.solves.{engine}")
         if engine == "lsa":
             _, cols = scipy.optimize.linear_sum_assignment(cost)
             return np.asarray(cols, dtype=np.int64)
@@ -372,9 +374,13 @@ class DatapathDSPAssigner:
                     )
                     break
                 guard.check_budget()  # no iterate finished: raises
-            cost = self.cost_matrix(place, prev_sites)
-            sites = self._solve_once(cost, prev_sites, guard)
-            true_obj = self.objective(sites, placement)
+            with trace.span("assignment.iterate", i=iters) as it_sp:
+                cost = self.cost_matrix(place, prev_sites)
+                sites = self._solve_once(cost, prev_sites, guard)
+                true_obj = self.objective(sites, placement)
+                it_sp.set(objective=true_obj)
+            metrics.inc("assignment.iterates")
+            metrics.observe("assignment.objective", true_obj)
             if true_obj < best_cost - 1e-9:
                 best_cost = true_obj
                 best_sites = sites

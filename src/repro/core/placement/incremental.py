@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.fpga.device import Device
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics
 from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.detailed import refine_sites
 from repro.placers.legalizer import Legalizer
@@ -35,6 +36,8 @@ def replace_other_components(
     """
     movable = np.array([not c.is_fixed for c in netlist.cells])
     movable[list(frozen_dsps)] = False
+    metrics.inc("incremental.replaces")
+    metrics.gauge("incremental.frozen_dsps", len(frozen_dsps))
     engine = QuadraticGlobalPlacer(
         GlobalPlaceConfig(n_iterations=n_iterations, avoid_ps=True, seed=seed)
     )

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import LegalizationError, SolverConvergenceError, SolverError
 from repro.fpga.device import Device
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 from repro.robustness.faults import maybe_fault
 from repro.robustness.guard import SolverGuard
 from repro.solvers.ilp import solve_ilp
@@ -85,18 +86,27 @@ class CascadeLegalizer:
         caps = [c.n_sites for c in cols]
         if sum(e.size for e in entities) > sum(caps):
             raise LegalizationError("more DSPs than device DSP sites")
+        metrics.gauge("legalization.entities", len(entities))
 
-        col_of, used_ilp, ilp_nodes = self._inter_column(entities, cols, caps, guard)
+        with trace.span("legalization.inter_column", n_entities=len(entities)) as ic_sp:
+            col_of, used_ilp, ilp_nodes = self._inter_column(entities, cols, caps, guard)
+            ic_sp.set(used_ilp=used_ilp, ilp_nodes=ilp_nodes)
+        metrics.inc("legalization.ilp_used" if used_ilp else "legalization.greedy_used")
         site_of: dict[int, int] = {}
         total_disp = 0.0
-        for j in range(len(cols)):
-            members = [e for e, cj in zip(entities, col_of) if cj == j]
-            if not members:
-                continue
-            total_disp += self._intra_column(members, j, site_of)
+        with trace.span("legalization.intra_column") as col_sp:
+            n_used = 0
+            for j in range(len(cols)):
+                members = [e for e, cj in zip(entities, col_of) if cj == j]
+                if not members:
+                    continue
+                n_used += 1
+                total_disp += self._intra_column(members, j, site_of)
+            col_sp.set(n_columns=n_used)
         # horizontal displacement component
         for e, cj in zip(entities, col_of):
             total_disp += abs(cols[cj].x - e.x) * e.size
+        metrics.observe("legalization.displacement_um", total_disp)
         return LegalizationResult(
             site_of=site_of,
             total_displacement_um=total_disp,

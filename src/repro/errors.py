@@ -23,6 +23,8 @@ so callers can catch one root type and the resilience layer
   even after every legalization fallback.
 - :class:`StageBudgetExceeded` — a pipeline stage blew its wall-clock
   budget.
+- :class:`ReportSchemaError` — a RunReport document does not conform to the
+  versioned schema (:mod:`repro.obs.report`).
 
 Several classes also inherit from the builtin exception they historically
 were (``ValueError`` / ``RuntimeError`` / ``TimeoutError``) so that code and
@@ -41,6 +43,7 @@ __all__ = [
     "SolverConvergenceError",
     "LegalizationError",
     "StageBudgetExceeded",
+    "ReportSchemaError",
 ]
 
 
@@ -83,6 +86,10 @@ class SolverConvergenceError(SolverError, RuntimeError):
 
 class LegalizationError(ReproError, ValueError):
     """No legal placement could be constructed for the given cells."""
+
+
+class ReportSchemaError(ReproError, ValueError):
+    """A RunReport document violates the versioned report schema."""
 
 
 class StageBudgetExceeded(ReproError, TimeoutError):

@@ -291,9 +291,9 @@ def run_suite_tool(
     t0 = time.perf_counter()
     phases: dict[str, float] = {}
     if tool == "vivado":
-        placement = VivadoLikePlacer(seed=settings.seed).place(netlist, device)
+        placement = VivadoLikePlacer(seed=settings.seed, device=device).place(netlist)
     elif tool == "amf":
-        placement = AMFLikePlacer(seed=settings.seed).place(netlist, device)
+        placement = AMFLikePlacer(seed=settings.seed, device=device).place(netlist)
     elif tool == "dsplacer":
         identifier = _identifier_for(settings, suite)
         placer = DSPlacer(

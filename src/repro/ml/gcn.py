@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import metrics
+
 
 def normalized_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
     """Kipf-Welling normalization with self-loops: D^{-1/2}(A+I)D^{-1/2}."""
@@ -150,6 +152,7 @@ class GCN:
         return grads
 
     def predict(self, x: np.ndarray, a_hat: sp.csr_matrix) -> np.ndarray:
+        metrics.inc("gcn.predicts")
         probs, _ = self.forward(x, a_hat, training=False)
         return probs.argmax(axis=1)
 

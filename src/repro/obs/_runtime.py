@@ -1,0 +1,32 @@
+"""Process-local observation stack.
+
+One module-level stack so instrumentation in the flow (``trace.span``,
+``metrics.inc``) can find the innermost active
+:class:`~repro.obs.Observation` without threading it through every call
+signature. When the stack is empty every hook is a no-op — the disabled
+fast path is a single truthiness check on this list.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observation
+
+_STACK: list["Observation"] = []
+
+
+def active() -> Optional["Observation"]:
+    """The innermost active observation, or ``None`` when disabled."""
+    return _STACK[-1] if _STACK else None
+
+
+def push(ob: "Observation") -> None:
+    _STACK.append(ob)
+
+
+def pop(ob: "Observation") -> None:
+    if not _STACK or _STACK[-1] is not ob:
+        raise RuntimeError("observation stack corrupted: pop out of order")
+    _STACK.pop()

@@ -1,0 +1,91 @@
+"""Opt-in per-span profiling hooks (cProfile / tracemalloc).
+
+Enabled through :class:`~repro.obs.Observation`::
+
+    with obs.observe(profile=("cprofile", "tracemalloc"),
+                     profile_only=("place.assignment",)) as ob:
+        ...
+
+Profiler output lands on the span's attributes (``profile_top``,
+``mem_peak_kb``) so it travels inside the RunReport like any other span
+data. cProfile cannot nest, so when profiled spans nest only the outermost
+one collects function stats; tracemalloc is started once and left running
+for the extent of the outermost profiled span.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import tracemalloc
+from typing import Any, Sequence
+
+TOOLS = ("cprofile", "tracemalloc")
+
+
+class SpanProfiler:
+    """Attaches cProfile / tracemalloc results to matching spans.
+
+    Args:
+        tools: Subset of :data:`TOOLS` to run.
+        only: Span-name prefixes to profile; empty profiles every span.
+        top: How many hottest functions to keep per cProfile capture.
+    """
+
+    def __init__(
+        self,
+        tools: Sequence[str] = ("cprofile",),
+        only: Sequence[str] = (),
+        top: int = 5,
+    ) -> None:
+        unknown = set(tools) - set(TOOLS)
+        if unknown:
+            raise ValueError(f"unknown profiling tool(s) {sorted(unknown)}; expected {TOOLS}")
+        self.tools = tuple(tools)
+        self.only = tuple(only)
+        self.top = top
+        self._cprofile_busy = False
+
+    def _match(self, name: str) -> bool:
+        return not self.only or any(
+            name == p or name.startswith(p + ".") for p in self.only
+        )
+
+    def start(self, name: str) -> dict[str, Any] | None:
+        """Begin profiling a span; returns a token for :meth:`stop`."""
+        if not self._match(name):
+            return None
+        token: dict[str, Any] = {}
+        if "tracemalloc" in self.tools:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                token["started_tm"] = True
+            token["tm0"] = tracemalloc.get_traced_memory()[0]
+        if "cprofile" in self.tools and not self._cprofile_busy:
+            self._cprofile_busy = True
+            prof = cProfile.Profile()
+            prof.enable()
+            token["prof"] = prof
+        return token or None
+
+    def stop(self, token: dict[str, Any], span) -> None:
+        """Finish profiling and attach the results to ``span.attrs``."""
+        prof = token.get("prof")
+        if prof is not None:
+            prof.disable()
+            self._cprofile_busy = False
+            span.attrs["profile_top"] = self._top_functions(prof)
+        if "tm0" in token:
+            current, peak = tracemalloc.get_traced_memory()
+            span.attrs["mem_current_kb"] = round(current / 1024.0, 1)
+            span.attrs["mem_peak_kb"] = round(peak / 1024.0, 1)
+            if token.get("started_tm"):
+                tracemalloc.stop()
+
+    def _top_functions(self, prof: cProfile.Profile) -> list[str]:
+        stats = pstats.Stats(prof).stats  # {(file, line, func): (cc, nc, tt, ct, callers)}
+        rows = sorted(stats.items(), key=lambda kv: -kv[1][3])[: self.top]
+        return [
+            f"{path.rsplit('/', 1)[-1]}:{line}:{func} cum={ct:.4f}s"
+            for (path, line, func), (_cc, _nc, _tt, ct, _callers) in rows
+        ]

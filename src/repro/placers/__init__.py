@@ -15,8 +15,14 @@ stand-ins that exercise the same role:
   PS↔PL datapath.
 - :class:`~repro.placers.sa.SimulatedAnnealingPlacer` — the classic
   small-design alternative (Section I's other placer family).
+
+All engines (and DSPlacer, through its adapter) conform to the unified
+:class:`~repro.placers.api.Placer` protocol: bind the device at
+construction, then ``place(netlist, *, seed=...)``. See
+:func:`~repro.placers.api.get_placer`.
 """
 
+from repro.placers.api import PLACER_NAMES, DSPlacerAdapter, Placer, get_placer
 from repro.placers.placement import Placement
 from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.legalizer import Legalizer
@@ -28,6 +34,10 @@ from repro.placers.amf_like import AMFLikePlacer
 from repro.placers.sa import SimulatedAnnealingPlacer
 
 __all__ = [
+    "Placer",
+    "DSPlacerAdapter",
+    "get_placer",
+    "PLACER_NAMES",
     "Placement",
     "GlobalPlaceConfig",
     "QuadraticGlobalPlacer",

@@ -21,10 +21,12 @@ import numpy as np
 
 from repro.fpga.device import Device
 from repro.netlist.netlist import Netlist
+from repro.obs import trace
 from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.detailed import refine_sites
 from repro.placers.legalizer import Legalizer
 from repro.placers.placement import Placement
+from repro.placers.vivado_like import resolve_device
 
 
 class AMFLikePlacer:
@@ -38,6 +40,7 @@ class AMFLikePlacer:
         n_iterations: int = 14,
         refine_passes: int = 1,
         fabric_scale: float = 1.5,
+        device: Device | None = None,
     ) -> None:
         self.seed = seed
         self.n_iterations = n_iterations
@@ -45,33 +48,39 @@ class AMFLikePlacer:
         # VCU108 has ~1.5× the ZCU104's fabric in each dimension; AMF's
         # density targets assume that larger part
         self.fabric_scale = fabric_scale
+        self.device = device
 
     def place(
         self,
         netlist: Netlist,
-        device: Device,
+        device: Device | None = None,
         placement: Placement | None = None,
         movable_mask: np.ndarray | None = None,
+        *,
+        seed: int | None = None,
     ) -> Placement:
         """Full placement of all movable cells; returns a legal placement."""
-        engine = QuadraticGlobalPlacer(
-            GlobalPlaceConfig(
-                n_iterations=self.n_iterations,
-                avoid_ps=False,  # VCU108 tuning: no PS keep-out
-                use_net_weights=False,  # wirelength-only, criticality-blind
-                fabric_scale=self.fabric_scale,
-                seed=self.seed,
+        device = resolve_device(self, device)
+        run_seed = self.seed if seed is None else seed
+        with trace.span("placer.amf"):
+            engine = QuadraticGlobalPlacer(
+                GlobalPlaceConfig(
+                    n_iterations=self.n_iterations,
+                    avoid_ps=False,  # VCU108 tuning: no PS keep-out
+                    use_net_weights=False,  # wirelength-only, criticality-blind
+                    fabric_scale=self.fabric_scale,
+                    seed=run_seed,
+                )
             )
-        )
-        place = engine.place(netlist, device, placement=placement, movable_mask=movable_mask)
-        # mixed-size packing: rigid macros collapse onto their centroid so
-        # the legalizer stacks each chain as compactly as possible
-        for macro in netlist.macros:
-            members = list(macro.dsps)
-            if movable_mask is not None and not all(movable_mask[i] for i in members):
-                continue
-            centroid = place.xy[members].mean(axis=0)
-            place.xy[members] = centroid
-        Legalizer(device).legalize(place, movable_mask=movable_mask)
-        refine_sites(place, passes=self.refine_passes, movable_mask=movable_mask, seed=self.seed)
-        return place
+            place = engine.place(netlist, device, placement=placement, movable_mask=movable_mask)
+            # mixed-size packing: rigid macros collapse onto their centroid so
+            # the legalizer stacks each chain as compactly as possible
+            for macro in netlist.macros:
+                members = list(macro.dsps)
+                if movable_mask is not None and not all(movable_mask[i] for i in members):
+                    continue
+                centroid = place.xy[members].mean(axis=0)
+                place.xy[members] = centroid
+            Legalizer(device).legalize(place, movable_mask=movable_mask)
+            refine_sites(place, passes=self.refine_passes, movable_mask=movable_mask, seed=run_seed)
+            return place

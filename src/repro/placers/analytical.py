@@ -26,6 +26,7 @@ import scipy.sparse.linalg as spla
 from repro.fpga.device import Device
 from repro.netlist.graph import connectivity_matrix
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 
 #: Approximate site area demand per cell kind, in CLB-cell units.
@@ -79,6 +80,17 @@ class QuadraticGlobalPlacer:
             A new :class:`Placement` with updated coordinates for movable
             cells (sites are *not* assigned — run a legalizer next).
         """
+        with trace.span("global_place", n_iterations=self.config.n_iterations):
+            metrics.inc("global_place.solves")
+            return self._place_impl(netlist, device, placement, movable_mask)
+
+    def _place_impl(
+        self,
+        netlist: Netlist,
+        device: Device,
+        placement: Placement | None,
+        movable_mask: np.ndarray | None,
+    ) -> Placement:
         cfg = self.config
         n = len(netlist.cells)
         place = placement.copy() if placement is not None else Placement(netlist, device)

@@ -1,0 +1,106 @@
+"""The unified Placer API.
+
+Every placement engine exposes one protocol: bind a
+:class:`~repro.fpga.Device` at construction, then
+``place(netlist, *, seed=...)`` returns a legal
+:class:`~repro.placers.Placement`. This is what the CLI, the experiment
+harness, and protocol-generic tests program against:
+
+    >>> placer = get_placer("vivado", device, seed=0)
+    >>> placement = placer.place(netlist)
+
+Conforming engines:
+
+- :class:`~repro.placers.vivado_like.VivadoLikePlacer` and
+  :class:`~repro.placers.amf_like.AMFLikePlacer` natively (their legacy
+  ``place(netlist, device)`` signature survives behind a
+  ``DeprecationWarning`` shim);
+- :class:`~repro.core.DSPlacer` through :class:`DSPlacerAdapter`, a thin
+  wrapper whose ``place`` returns ``DSPlacerResult.placement`` (the full
+  result stays reachable as ``adapter.last_result``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.netlist.netlist import Netlist
+from repro.placers.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dsplacer import DSPlacer, DSPlacerResult
+    from repro.fpga.device import Device
+
+__all__ = ["Placer", "DSPlacerAdapter", "get_placer", "PLACER_NAMES"]
+
+#: CLI names accepted by :func:`get_placer`.
+PLACER_NAMES = ("vivado", "amf", "dsplacer")
+
+
+@runtime_checkable
+class Placer(Protocol):
+    """A device-bound placement engine (the unified placement surface)."""
+
+    name: str
+
+    def place(self, netlist: Netlist, *, seed: int | None = None) -> Placement:
+        """Fully place ``netlist`` on the bound device; returns a legal placement."""
+        ...
+
+
+class DSPlacerAdapter:
+    """Conform :class:`~repro.core.DSPlacer` to the :class:`Placer` protocol.
+
+    ``place`` runs the full Fig. 2 flow and returns just the
+    :class:`Placement`; the most recent complete
+    :class:`~repro.core.DSPlacerResult` (identification, health, report, …)
+    is kept on :attr:`last_result`.
+    """
+
+    name = "dsplacer"
+
+    def __init__(self, dsplacer: "DSPlacer") -> None:
+        self.dsplacer = dsplacer
+        self.last_result: "DSPlacerResult | None" = None
+
+    def place(self, netlist: Netlist, *, seed: int | None = None) -> Placement:
+        placer = self.dsplacer
+        if seed is not None and seed != placer.config.seed:
+            from repro.core.dsplacer import DSPlacer, DSPlacerConfig
+
+            cfg = DSPlacerConfig.from_dict({**placer.config.to_dict(), "seed": seed})
+            placer = DSPlacer(placer.device, cfg, identifier=placer.identifier)
+        result = placer.place(netlist)
+        self.last_result = result
+        return result.placement
+
+
+def get_placer(
+    name: str,
+    device: "Device",
+    *,
+    seed: int = 0,
+    config=None,
+) -> Placer:
+    """Construct a protocol-conforming placer by its CLI name.
+
+    ``config`` (a :class:`~repro.core.DSPlacerConfig`) only applies to
+    ``"dsplacer"``; the baselines take just the seed.
+    """
+    if name == "vivado":
+        from repro.placers.vivado_like import VivadoLikePlacer
+
+        return VivadoLikePlacer(seed=seed, device=device)
+    if name == "amf":
+        from repro.placers.amf_like import AMFLikePlacer
+
+        return AMFLikePlacer(seed=seed, device=device)
+    if name == "dsplacer":
+        from repro.core.dsplacer import DSPlacer, DSPlacerConfig
+
+        cfg = config if config is not None else DSPlacerConfig(seed=seed)
+        return DSPlacerAdapter(DSPlacer(device, cfg))
+    raise ConfigurationError(
+        f"unknown placer {name!r} (expected one of {PLACER_NAMES})"
+    )

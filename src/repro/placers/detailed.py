@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.netlist.cell import CellType
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 
 
@@ -40,6 +41,21 @@ def refine_sites(
     seed: int = 0,
 ) -> int:
     """Greedy move/swap refinement; returns the number of accepted moves."""
+    with trace.span("refine", passes=passes) as sp:
+        accepted = _refine_impl(placement, kinds, passes, n_candidates, movable_mask, seed)
+        sp.set(accepted_moves=accepted)
+        metrics.inc("refine.accepted_moves", accepted)
+    return accepted
+
+
+def _refine_impl(
+    placement: Placement,
+    kinds: tuple[str, ...],
+    passes: int,
+    n_candidates: int,
+    movable_mask: np.ndarray | None,
+    seed: int,
+) -> int:
     nl, dev = placement.netlist, placement.device
     incident = _incident_nets(placement)
     rng = np.random.default_rng(seed)

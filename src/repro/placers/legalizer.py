@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.fpga.device import Device
 from repro.netlist.cell import CellType
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 
 
@@ -37,9 +38,11 @@ class Legalizer:
         if movable_mask is None:
             movable_mask = np.array([not c.is_fixed for c in nl.cells])
         movable_mask = np.asarray(movable_mask, dtype=bool)
-        self.legalize_dsps(placement, movable_mask)
-        self.legalize_brams(placement, movable_mask)
-        self.legalize_clb(placement, movable_mask)
+        with trace.span("legalize"):
+            metrics.inc("legalize.passes")
+            self.legalize_dsps(placement, movable_mask)
+            self.legalize_brams(placement, movable_mask)
+            self.legalize_clb(placement, movable_mask)
         return placement
 
     # ------------------------------------------------------------------

@@ -9,14 +9,43 @@ macros land wherever wirelength pulls them.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.fpga.device import Device
 from repro.netlist.netlist import Netlist
+from repro.obs import trace
 from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.detailed import refine_sites
 from repro.placers.legalizer import Legalizer
 from repro.placers.placement import Placement
+
+
+def resolve_device(placer, device: Device | None) -> Device:
+    """Shared legacy-signature shim for the baseline placers.
+
+    The unified :class:`~repro.placers.api.Placer` protocol binds the device
+    at construction; passing it to ``place()`` still works but is
+    deprecated.
+    """
+    if device is not None:
+        if placer.device is None:
+            warnings.warn(
+                f"passing `device` to {type(placer).__name__}.place() is "
+                f"deprecated; bind it at construction "
+                f"({type(placer).__name__}(device=dev)) and call place(netlist)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return device
+    if placer.device is None:
+        raise ConfigurationError(
+            f"{type(placer).__name__} has no device: construct with "
+            f"{type(placer).__name__}(device=dev) or pass one to place()"
+        )
+    return placer.device
 
 
 class VivadoLikePlacer:
@@ -42,6 +71,7 @@ class VivadoLikePlacer:
         td_rounds: int = 1,
         td_boost: float = 2.0,
         pack_ble: bool = False,
+        device: Device | None = None,
     ) -> None:
         self.seed = seed
         self.n_iterations = n_iterations
@@ -50,42 +80,48 @@ class VivadoLikePlacer:
         self.td_rounds = td_rounds
         self.td_boost = td_boost
         self.pack_ble = pack_ble
+        self.device = device
 
     def place(
         self,
         netlist: Netlist,
-        device: Device,
+        device: Device | None = None,
         placement: Placement | None = None,
         movable_mask: np.ndarray | None = None,
+        *,
+        seed: int | None = None,
     ) -> Placement:
         """Full placement of all movable cells; returns a legal placement."""
-        place = self._one_pass(netlist, device, placement, movable_mask)
-        if not self.timing_driven:
-            return place
-        from repro.timing.sta import StaticTimingAnalyzer
+        device = resolve_device(self, device)
+        run_seed = self.seed if seed is None else seed
+        with trace.span("placer.vivado", timing_driven=self.timing_driven):
+            place = self._one_pass(netlist, device, placement, movable_mask, run_seed)
+            if not self.timing_driven:
+                return place
+            from repro.timing.sta import StaticTimingAnalyzer
 
-        sta = StaticTimingAnalyzer(netlist)
-        period = 1e3 / netlist.target_freq_mhz if netlist.target_freq_mhz else 5.0
-        original = [net.weight for net in netlist.nets]
-        try:
-            for _ in range(self.td_rounds):
-                report = sta.analyze(place, period_ns=period, with_slacks=True)
-                slack = report.cell_output_slack
+            sta = StaticTimingAnalyzer(netlist)
+            period = 1e3 / netlist.target_freq_mhz if netlist.target_freq_mhz else 5.0
+            original = [net.weight for net in netlist.nets]
+            try:
+                for _ in range(self.td_rounds):
+                    report = sta.analyze(place, period_ns=period, with_slacks=True)
+                    slack = report.cell_output_slack
+                    for net, w0 in zip(netlist.nets, original):
+                        s = slack[net.driver]
+                        if np.isnan(s):
+                            continue
+                        crit = float(np.clip(1.0 - s / period, 0.0, 1.0))
+                        net.weight = w0 * (1.0 + self.td_boost * crit)
+                    place = self._one_pass(netlist, device, place, movable_mask, run_seed)
+            finally:
                 for net, w0 in zip(netlist.nets, original):
-                    s = slack[net.driver]
-                    if np.isnan(s):
-                        continue
-                    crit = float(np.clip(1.0 - s / period, 0.0, 1.0))
-                    net.weight = w0 * (1.0 + self.td_boost * crit)
-                place = self._one_pass(netlist, device, place, movable_mask)
-        finally:
-            for net, w0 in zip(netlist.nets, original):
-                net.weight = w0
-        return place
+                    net.weight = w0
+            return place
 
-    def _one_pass(self, netlist, device, placement, movable_mask) -> Placement:
+    def _one_pass(self, netlist, device, placement, movable_mask, seed) -> Placement:
         engine = QuadraticGlobalPlacer(
-            GlobalPlaceConfig(n_iterations=self.n_iterations, avoid_ps=True, seed=self.seed)
+            GlobalPlaceConfig(n_iterations=self.n_iterations, avoid_ps=True, seed=seed)
         )
         place = engine.place(netlist, device, placement=placement, movable_mask=movable_mask)
         if self.pack_ble:
@@ -94,6 +130,6 @@ class VivadoLikePlacer:
             apply_packing(place, pack_lut_ff_pairs(netlist))
         Legalizer(device).legalize(place, movable_mask=movable_mask)
         refine_sites(
-            place, passes=self.refine_passes, movable_mask=movable_mask, seed=self.seed
+            place, passes=self.refine_passes, movable_mask=movable_mask, seed=seed
         )
         return place

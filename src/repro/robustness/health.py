@@ -74,6 +74,24 @@ class RunHealth:
         return [e for e in self.events if e.stage == stage]
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The RunReport ``health`` section (see :mod:`repro.obs.report`)."""
+        return {
+            "degraded": self.degraded,
+            "events": [
+                {"stage": e.stage, "kind": e.kind, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunHealth":
+        health = cls(degraded=bool(doc.get("degraded", False)))
+        for e in doc.get("events", []):
+            health.record(e["stage"], e["kind"], e["detail"])
+        return health
+
+    # ------------------------------------------------------------------
     def summary(self, verbose: bool = True) -> str:
         """Multi-line human summary (the CLI prints this to stderr)."""
         if self.ok:

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 from repro.router.estimator import net_hpwl, steiner_factor
 
@@ -57,6 +58,18 @@ class GlobalRouter:
 
     def route(self, placement: Placement) -> RoutingResult:
         """Estimate congestion and routed length for every net."""
+        with trace.span("route", grid=list(self.grid)) as sp:
+            result = self._route_impl(placement)
+            sp.set(
+                wirelength_um=result.total_wirelength,
+                overflow_frac=result.overflow_frac,
+            )
+        metrics.inc("router.routes")
+        metrics.gauge("router.wirelength_um", result.total_wirelength)
+        metrics.gauge("router.overflow_frac", result.overflow_frac)
+        return result
+
+    def _route_impl(self, placement: Placement) -> RoutingResult:
         dev = placement.device
         gx, gy = self.grid
         bw = dev.width / gx

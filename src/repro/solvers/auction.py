@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SolverConvergenceError, SolverInputError
+from repro.obs import metrics
 
 
 def auction_assignment(
@@ -43,6 +44,7 @@ def auction_assignment(
         raise SolverInputError("auction_assignment requires n_rows <= n_cols")
     if n == 0:
         return np.zeros(0, dtype=np.int64), 0.0
+    metrics.inc("auction.solves")
     benefit = -cost  # auction maximizes
     spread = float(benefit.max() - benefit.min())
     if spread <= 0:  # all costs equal: any assignment is optimal

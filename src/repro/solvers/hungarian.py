@@ -11,6 +11,7 @@ import math
 import numpy as np
 
 from repro.errors import SolverInputError
+from repro.obs import metrics
 
 
 def hungarian(cost: np.ndarray) -> tuple[np.ndarray, float]:
@@ -27,6 +28,7 @@ def hungarian(cost: np.ndarray) -> tuple[np.ndarray, float]:
     n, m = cost.shape
     if n > m:
         raise SolverInputError("hungarian() requires n_rows <= n_cols")
+    metrics.inc("hungarian.solves")
     INF = math.inf
     # 1-based potentials over rows (u) and columns (v); p[j] = row matched to col j
     u = [0.0] * (n + 1)

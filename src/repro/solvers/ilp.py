@@ -17,6 +17,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SolverInputError
+from repro.obs import metrics
 from repro.solvers.simplex import solve_lp_simplex
 
 _INT_TOL = 1e-6
@@ -79,6 +80,8 @@ def solve_ilp(
         np.ones(n, dtype=bool) if integrality is None else np.asarray(integrality, dtype=bool)
     )
 
+    metrics.inc("ilp.solves")
+    metrics.inc("ilp.variables", n)
     best_x: np.ndarray | None = None
     best_obj = math.inf
     n_nodes = 0
@@ -118,6 +121,7 @@ def solve_ilp(
             if child[j][0] <= child[j][1]:
                 heapq.heappush(heap, (obj, next(counter), child))
 
+    metrics.inc("ilp.nodes_explored", n_nodes)
     if best_x is None:
         return ILPResult("infeasible" if not heap else "node_limit", None, None, n_nodes)
     status = "optimal" if not heap or n_nodes < max_nodes else "node_limit"

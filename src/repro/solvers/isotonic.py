@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverInfeasibleError, SolverInputError
+from repro.obs import metrics
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,8 @@ def legalize_column_rows(blocks: list[ColumnBlock], m_rows: int) -> list[int]:
     """
     if not blocks:
         return []
+    metrics.inc("isotonic.columns")
+    metrics.inc("isotonic.blocks", len(blocks))
     sizes = [b.size for b in blocks]
     total = sum(sizes)
     if total > m_rows:

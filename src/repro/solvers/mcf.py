@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import SolverInfeasibleError, SolverInputError
+from repro.obs import metrics
 
 
 class MinCostFlow:
@@ -93,8 +94,10 @@ class MinCostFlow:
         total_flow = 0.0
         total_cost = 0.0
         prev_edge = [-1] * self.n
+        metrics.inc("mcf.solves")
 
         while total_flow < max_flow:
+            metrics.inc("mcf.augmentations")
             dist = [math.inf] * self.n
             dist[s] = 0.0
             prev_edge = [-1] * self.n
@@ -186,6 +189,7 @@ def min_cost_assignment(
     for slot in seen_slots:
         slot_edge[slot] = net.add_edge(n_agents + slot, t, slot_capacity, 0.0)
 
+    metrics.inc("mcf.arcs", len(edge_ids))
     flow, _cost = net.min_cost_flow(s, t, n_agents)
     if flow < n_agents - 1e-9:
         raise SolverInfeasibleError(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverInputError
+from repro.obs import metrics
 
 _EPS = 1e-9
 
@@ -126,6 +127,7 @@ def solve_lp_simplex(
     """
     c = np.asarray(c, dtype=np.float64)
     n = c.size
+    metrics.inc("simplex.solves")
     bounds = bounds or [(0.0, math.inf)] * n
     if len(bounds) != n:
         raise SolverInputError("bounds length mismatch")

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 from repro.router.global_router import RoutingResult
 from repro.timing.delay_model import DelayModel
@@ -147,6 +148,21 @@ class StaticTimingAnalyzer:
         (min over all downstream endpoints), which timing-driven placement
         uses for net criticality weighting.
         """
+        with trace.span("sta.analyze", with_slacks=with_slacks) as sp:
+            report = self._analyze_impl(placement, routing, period_ns, with_slacks)
+            sp.set(wns_ns=report.wns_ns, n_failing=report.n_failing)
+        metrics.inc("sta.analyses")
+        metrics.gauge("sta.wns_ns", report.wns_ns)
+        metrics.gauge("sta.tns_ns", report.tns_ns)
+        return report
+
+    def _analyze_impl(
+        self,
+        placement: Placement,
+        routing: RoutingResult | None,
+        period_ns: float | None,
+        with_slacks: bool,
+    ) -> TimingReport:
         nl = self.netlist
         if period_ns is None:
             if not nl.target_freq_mhz:

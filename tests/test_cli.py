@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import RunReport, validate_report
 
 
 class TestParser:
@@ -66,3 +67,65 @@ class TestCommands:
     def test_experiment_table1_hint(self, capsys):
         rc = main(["experiment", "table2"])
         assert rc == 1  # points at the benchmark harness
+
+
+PLACE_SMALL = ["place", "--suite", "ismartdnn", "--scale", "0.02", "--tool", "dsplacer"]
+
+
+class TestObservabilityOutput:
+    def test_json_emits_valid_runreport_on_stdout(self, capsys):
+        rc = main(PLACE_SMALL + ["--json"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        doc = json.loads(out)  # stdout is pure JSON
+        assert validate_report(doc) == []
+        assert doc["meta"]["tool"] == "dsplacer"
+        rep = RunReport.from_dict(doc)
+        assert {"run", "place", "route", "sta.analyze"} <= rep.span_names()
+        assert len(rep.metric_names()) >= 10
+        # the human summary moved to stderr
+        assert "legal=True" in err
+
+    def test_quiet_silences_health_summary(self, capsys):
+        rc = main(PLACE_SMALL + ["--json", "--quiet"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        assert validate_report(json.loads(out)) == []
+        assert err.strip() == ""
+
+    def test_trace_prints_span_tree(self, capsys):
+        rc = main(PLACE_SMALL + ["--trace", "--quiet"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        assert "run" in err and "place" in err and "wall" in err
+        assert "legal=True" in out  # summary stays on stdout without --json
+
+    def test_without_flags_no_report_and_no_overheads(self, capsys):
+        rc = main(PLACE_SMALL)
+        assert rc == 0
+        out, _ = capsys.readouterr()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)  # plain text, not a report
+
+
+class TestConfigFile:
+    def test_config_file_overrides_flags(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"seed": 9, "outer_iterations": 1}))
+        rc = main(PLACE_SMALL + ["--json", "--quiet", "--config", str(cfg)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["meta"]["config"]["seed"] == 9
+        assert doc["meta"]["config"]["outer_iterations"] == 1
+
+    def test_unknown_config_key_exits_2(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"turbo": True}))
+        rc = main(PLACE_SMALL + ["--config", str(cfg)])
+        assert rc == 2
+        assert "ConfigurationError" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_2(self, capsys):
+        rc = main(PLACE_SMALL + ["--config", "/nonexistent/cfg.json"])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""Metrics registry: recording, merge semantics, serialization."""
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestAmbientHelpers:
+    def test_disabled_calls_are_noops(self):
+        metrics.inc("x")
+        metrics.gauge("y", 1.0)
+        metrics.observe("z", 2.0)
+        with obs.observe() as ob:
+            pass
+        assert ob.metrics.names() == set()
+
+    def test_recording_lands_on_active_observation(self):
+        with obs.observe() as ob:
+            metrics.inc("hits")
+            metrics.inc("hits", 4)
+            metrics.gauge("level", 7)
+            metrics.gauge("level", 9)
+            metrics.observe("cost", 1.0)
+            metrics.observe("cost", 3.0)
+        assert ob.metrics.counters["hits"] == 5
+        assert ob.metrics.gauges["level"] == 9.0
+        h = ob.metrics.histograms["cost"]
+        assert (h.count, h.total, h.min, h.max) == (2, 4.0, 1.0, 3.0)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_innermost_observation_receives(self):
+        with obs.observe() as outer:
+            with obs.observe() as inner:
+                metrics.inc("n")
+            metrics.inc("n", 10)
+        assert inner.metrics.counters["n"] == 1
+        assert outer.metrics.counters["n"] == 10
+
+
+class TestMerge:
+    def test_counters_add_gauges_win_last_histograms_combine(self):
+        a = MetricsRegistry()
+        a.inc("c", 2)
+        a.gauge("g", 1.0)
+        a.observe("h", 1.0)
+        b = MetricsRegistry()
+        b.inc("c", 3)
+        b.inc("only_b")
+        b.gauge("g", 5.0)
+        b.observe("h", 9.0)
+        a.merge(b)
+        assert a.counters == {"c": 5, "only_b": 1}
+        assert a.gauges == {"g": 5.0}
+        h = a.histograms["h"]
+        assert (h.count, h.min, h.max) == (2, 1.0, 9.0)
+
+    def test_merge_does_not_alias_other_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.observe("h", 1.0)
+        a.merge(b)
+        b.observe("h", 100.0)
+        assert a.histograms["h"].count == 1
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.gauge("g", 2.5)
+        reg.observe("h", 4.0)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+
+    def test_empty_histogram_serializes_to_zeros(self):
+        doc = Histogram().to_dict()
+        assert doc == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        assert Histogram.from_dict(doc).count == 0
+
+    def test_counter_values_json_clean(self):
+        import numpy as np
+
+        reg = MetricsRegistry()
+        reg.inc("c", np.int64(3))
+        reg.gauge("g", np.float64(1.5))
+        doc = reg.to_dict()
+        assert isinstance(doc["counters"]["c"], int)
+        assert isinstance(doc["gauges"]["g"], float)

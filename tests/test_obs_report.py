@@ -1,0 +1,150 @@
+"""RunReport schema: validation, round-trip, and the full observed flow."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import DSPlacer
+from repro.errors import ReportSchemaError
+from repro.obs import (
+    REPORT_KIND,
+    SCHEMA_VERSION,
+    RunReport,
+    aggregate_spans,
+    render_trace,
+    validate_report,
+)
+from repro.obs.report import _main as validate_cli
+
+
+def _sample_doc() -> dict:
+    return {
+        "kind": REPORT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "meta": {"tool": "dsplacer"},
+        "spans": [
+            {
+                "name": "place",
+                "wall_s": 1.5,
+                "cpu_s": 1.0,
+                "attrs": {"ok": True},
+                "counters": {"n": 2},
+                "children": [
+                    {"name": "place.extraction", "wall_s": 0.5, "cpu_s": 0.4, "children": []}
+                ],
+            }
+        ],
+        "metrics": {
+            "counters": {"mcf.solves": 3},
+            "gauges": {"placement.hpwl_um": 100.0},
+            "histograms": {
+                "assignment.objective": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+            },
+        },
+        "health": {"degraded": False, "events": []},
+        "quality": {"legal": True},
+    }
+
+
+class TestValidation:
+    def test_valid_document(self):
+        assert validate_report(_sample_doc()) == []
+
+    def test_not_a_dict(self):
+        assert validate_report([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(kind="wrong.kind"),
+            lambda d: d.update(schema_version="1"),
+            lambda d: d.update(schema_version=SCHEMA_VERSION + 1),
+            lambda d: d["spans"][0].pop("name"),
+            lambda d: d["spans"][0].update(wall_s=-1.0),
+            lambda d: d["spans"][0].update(counters={"n": "two"}),
+            lambda d: d["metrics"].update(gauges={"g": "high"}),
+            lambda d: d["metrics"]["histograms"].update(bad={"count": 1}),
+            lambda d: d["health"].update(degraded="no"),
+            lambda d: d["health"].update(events=[{"stage": "s"}]),
+        ],
+    )
+    def test_broken_documents_rejected(self, mutate):
+        doc = _sample_doc()
+        mutate(doc)
+        assert validate_report(doc) != []
+
+    def test_from_dict_strict_raises(self):
+        doc = _sample_doc()
+        doc["kind"] = "nope"
+        with pytest.raises(ReportSchemaError):
+            RunReport.from_dict(doc)
+
+    def test_cli_validator(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_sample_doc()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "nope"}))
+        assert validate_cli([str(good)]) == 0
+        assert validate_cli([str(good), str(bad)]) == 1
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict(self):
+        rep = RunReport.from_dict(_sample_doc())
+        again = RunReport.from_dict(rep.to_dict())
+        assert again.to_dict() == rep.to_dict()
+        assert again.span_names() == {"place", "place.extraction"}
+        assert "mcf.solves" in again.metric_names()
+
+    def test_stage_seconds_and_aggregate(self):
+        rep = RunReport.from_dict(_sample_doc())
+        agg = aggregate_spans(rep.spans)
+        assert agg["place"]["count"] == 1
+        assert rep.stage_seconds()["place.extraction"] == pytest.approx(0.5)
+
+    def test_render_trace_mentions_every_span(self):
+        rep = RunReport.from_dict(_sample_doc())
+        text = render_trace(rep.spans)
+        assert "place" in text and "place.extraction" in text
+
+
+class TestObservedFlow:
+    """End-to-end: the full DSPlacer flow emits a schema-valid report."""
+
+    def test_dsplacer_run_report(self, small_dev, mini_accel):
+        with obs.observe() as ob:
+            result = DSPlacer(small_dev).place(mini_accel)
+        rep = result.report
+        assert rep is not None
+        names = rep.span_names()
+        # every flow stage is covered, down to per-iteration spans
+        for required in (
+            "place",
+            "place.prototype",
+            "place.extraction",
+            "extraction.identify",
+            "extraction.iddfs",
+            "place.outer",
+            "place.assignment",
+            "assignment.iterate",
+            "place.legalization",
+            "place.incremental",
+        ):
+            assert required in names, required
+        assert len(rep.metric_names()) >= 10
+        assert validate_report(rep.to_dict()) == []
+        assert rep.quality["legal"] is True
+        # the report survives a JSON round-trip
+        again = RunReport.from_dict(json.loads(rep.to_json()))
+        assert again.span_names() == names
+
+    def test_unobserved_result_synthesizes_report(self, small_dev, mini_accel):
+        result = DSPlacer(small_dev).place(mini_accel)
+        assert result.report is None
+        doc = result.to_dict(meta={"tool": "dsplacer"})
+        assert validate_report(doc) == []
+        assert doc["meta"]["tool"] == "dsplacer"
+        names = {s["name"] for s in RunReport.from_dict(doc).iter_spans()}
+        assert "place.prototype_placement" in names
+        assert doc["quality"]["legal"] is True

@@ -1,0 +1,152 @@
+"""Tracing spans: nesting, fake-clock timing, disabled fast path."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.t
+        self.t += self.step
+        return t
+
+
+class TestDisabled:
+    def test_span_is_null_outside_observe(self):
+        assert trace.span("anything") is NULL_SPAN
+        with trace.span("x") as sp:
+            sp.add("counter")
+            sp.set(attr=1)  # all no-ops
+        assert trace.current() is None
+        assert not trace.enabled()
+
+    def test_no_state_leaks_from_null_spans(self):
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+        with obs.observe() as ob:
+            pass
+        assert ob.tracer.roots == []
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        with obs.observe() as ob:
+            with trace.span("outer"):
+                with trace.span("inner.a"):
+                    pass
+                with trace.span("inner.b"):
+                    with trace.span("leaf"):
+                        pass
+        (root,) = ob.tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in root.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        with obs.observe() as ob:
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        assert [r.name for r in ob.tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_innermost(self):
+        with obs.observe():
+            assert trace.current() is None
+            with trace.span("a") as sa:
+                assert trace.current() is sa
+                with trace.span("b") as sb:
+                    assert trace.current() is sb
+                assert trace.current() is sa
+            assert trace.current() is None
+
+    def test_find_and_iter(self):
+        with obs.observe() as ob:
+            with trace.span("a"):
+                with trace.span("b"):
+                    pass
+        assert [s.name for s in ob.tracer.find("b")] == ["b"]
+        assert ob.tracer.find("zzz") == []
+        assert {s.name for s in ob.tracer.iter_spans()} == {"a", "b"}
+
+
+class TestTiming:
+    def test_wall_time_is_deterministic_under_fake_clock(self):
+        wall = FakeClock(step=1.0)
+        cpu = FakeClock(step=0.25)
+        with obs.observe(clock=wall, cpu_clock=cpu) as ob:
+            with trace.span("timed"):
+                pass
+        (span,) = ob.tracer.roots
+        # enter and exit each read the clock once
+        assert span.wall_s == pytest.approx(1.0)
+        assert span.cpu_s == pytest.approx(0.25)
+
+    def test_nested_child_time_within_parent(self):
+        wall = FakeClock(step=1.0)
+        with obs.observe(clock=wall, cpu_clock=FakeClock(0.0)) as ob:
+            with trace.span("parent"):
+                with trace.span("child"):
+                    pass
+        (parent,) = ob.tracer.roots
+        (child,) = parent.children
+        assert parent.wall_s == pytest.approx(3.0)  # reads at t=0 and t=3
+        assert child.wall_s == pytest.approx(1.0)
+        assert child.wall_s <= parent.wall_s
+
+
+class TestSpanData:
+    def test_attrs_counters_and_to_dict(self):
+        with obs.observe() as ob:
+            with trace.span("s", kind="demo") as sp:
+                sp.add("events")
+                sp.add("events", 2)
+                sp.set(result="ok", value=3)
+        doc = ob.tracer.to_dicts()[0]
+        assert doc["name"] == "s"
+        assert doc["attrs"]["kind"] == "demo"
+        assert doc["attrs"]["result"] == "ok"
+        assert doc["attrs"]["value"] == 3
+        assert doc["counters"]["events"] == 3
+        assert doc.get("children", []) == []
+        assert doc["wall_s"] >= 0.0
+
+    def test_exception_marks_error_and_propagates(self):
+        with obs.observe() as ob:
+            with pytest.raises(ValueError):
+                with trace.span("failing"):
+                    raise ValueError("boom")
+        (span,) = ob.tracer.roots
+        assert span.attrs["error"] == "ValueError"
+
+    def test_attrs_are_json_coerced(self):
+        import numpy as np
+
+        with obs.observe() as ob:
+            with trace.span("s", count=np.int64(3), ratio=np.float64(0.5)):
+                pass
+        doc = ob.tracer.to_dicts()[0]
+        assert isinstance(doc["attrs"]["count"], int)
+        assert isinstance(doc["attrs"]["ratio"], float)
+
+
+class TestObserveNesting:
+    def test_innermost_observation_wins(self):
+        with obs.observe() as outer:
+            with obs.observe() as inner:
+                with trace.span("x"):
+                    pass
+            assert inner.tracer.roots
+            assert not outer.tracer.roots
+            assert obs.active() is outer
+        assert obs.active() is None

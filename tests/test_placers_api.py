@@ -1,0 +1,97 @@
+"""The unified Placer protocol: conformance, shims, config round-trips."""
+
+import warnings
+
+import pytest
+
+from repro.core import DSPlacer
+from repro.core.dsplacer import DSPlacerConfig
+from repro.errors import ConfigurationError
+from repro.placers import (
+    PLACER_NAMES,
+    DSPlacerAdapter,
+    Placer,
+    get_placer,
+)
+from repro.placers.vivado_like import VivadoLikePlacer
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", PLACER_NAMES)
+    def test_every_engine_conforms(self, name, small_dev, mini_accel):
+        placer = get_placer(name, small_dev, seed=0)
+        assert isinstance(placer, Placer)
+        assert placer.name == name
+        placement = placer.place(mini_accel)
+        assert placement.is_legal(), placement.legality_violations()[:3]
+
+    def test_unknown_name_rejected(self, small_dev):
+        with pytest.raises(ConfigurationError, match="unknown placer"):
+            get_placer("quartus", small_dev)
+
+    def test_adapter_keeps_full_result(self, small_dev, mini_accel):
+        adapter = get_placer("dsplacer", small_dev, seed=0)
+        assert isinstance(adapter, DSPlacerAdapter)
+        assert adapter.last_result is None
+        placement = adapter.place(mini_accel)
+        result = adapter.last_result
+        assert result is not None
+        assert result.placement is placement
+        assert result.identification is not None
+
+    def test_adapter_seed_override_rebuilds(self, small_dev, mini_accel):
+        adapter = get_placer("dsplacer", small_dev, seed=0)
+        adapter.place(mini_accel, seed=7)
+        # the underlying DSPlacer keeps seed 0; the run used 7
+        assert adapter.dsplacer.config.seed == 0
+        assert adapter.last_result is not None
+
+    def test_as_placer_shortcut(self, small_dev):
+        placer = DSPlacer(small_dev)
+        adapter = placer.as_placer()
+        assert isinstance(adapter, DSPlacerAdapter)
+        assert adapter.dsplacer is placer
+
+
+class TestLegacyShim:
+    def test_old_signature_warns_but_works(self, small_dev, mini_accel):
+        placer = VivadoLikePlacer(seed=0)  # no device bound
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            placement = placer.place(mini_accel, small_dev)
+        assert placement.is_legal()
+
+    def test_bound_device_does_not_warn(self, small_dev, mini_accel):
+        placer = VivadoLikePlacer(seed=0, device=small_dev)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            placement = placer.place(mini_accel)
+        assert placement.is_legal()
+
+    def test_no_device_anywhere_is_an_error(self, mini_accel):
+        with pytest.raises(ConfigurationError, match="no device"):
+            VivadoLikePlacer(seed=0).place(mini_accel)
+
+
+class TestConfigRoundTrip:
+    def test_to_dict_from_dict(self):
+        cfg = DSPlacerConfig(seed=3, outer_iterations=2)
+        again = DSPlacerConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = DSPlacerConfig.from_dict({"seed": 11})
+        assert cfg.seed == 11
+        assert cfg.outer_iterations == DSPlacerConfig().outer_iterations
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            DSPlacerConfig.from_dict({"seed": 1, "turbo": True})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DSPlacerConfig.from_dict(["seed", 1])
+
+    def test_config_flows_through_factory(self, small_dev):
+        cfg = DSPlacerConfig(seed=5, outer_iterations=1)
+        adapter = get_placer("dsplacer", small_dev, config=cfg)
+        assert adapter.dsplacer.config is cfg
