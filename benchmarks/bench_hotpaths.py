@@ -1,0 +1,41 @@
+"""Hot-path perf-regression bench (gated against ``BENCH_hotpaths.json``).
+
+Unlike the figure/table benches, this one reproduces no paper artifact: it
+guards the flow's measured hot paths — the linearized MCF assignment
+iterate and feature extraction — against wall-clock regressions. The
+workload protocol lives in :mod:`repro.obs.bench`; the committed baseline
+at the repo root records the expected per-stage timings (plus the
+pre-vectorization reference measurements, see ``docs/PERFORMANCE.md``).
+
+Knobs (env): ``REPRO_BENCH_SUITE`` / ``REPRO_BENCH_SCALE`` pick the
+workload (default: the small CI suite), ``REPRO_BENCH_THRESHOLD`` the
+allowed slowdown fraction (default 0.25).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.obs.bench import compare, run_hotpaths
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+
+def test_hotpaths_no_regression(emit, results_dir):
+    suite = os.environ.get("REPRO_BENCH_SUITE", "skynet")
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+    threshold = float(os.environ.get("REPRO_BENCH_THRESHOLD", "0.25"))
+
+    doc = run_hotpaths(suite=suite, scale=scale)
+    (results_dir / "BENCH_hotpaths.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    lines = [f"{name:<28} {agg['wall_s']:8.4f}s  x{agg['count']}"
+             for name, agg in sorted(doc["stages"].items())]
+    emit("bench_hotpaths", f"hot paths on {doc['workload']}:\n" + "\n".join(lines))
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    problems = compare(doc, baseline, threshold=threshold)
+    assert not problems, "\n".join(problems)

@@ -90,16 +90,21 @@ def _features_impl(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
         betweenness = nx.betweenness_centrality(ug, normalized=True)
         feats[:, 0] = [closeness[i] for i in range(n)]
         feats[:, 5] = [betweenness[i] for i in range(n)]
-        # eccentricity / DSP distances per connected component
-        dists = dict(nx.all_pairs_shortest_path_length(ug))
-        for u in range(n):
-            du = dists.get(u, {})
-            feats[u, 2] = max(du.values()) if du else 0.0
-        dsp_set = set(int(d) for d in dsp_nodes)
-        for u in dsp_set:
-            du = dists.get(u, {})
-            others = [du[v] for v in dsp_set if v != u and v in du]
-            feats[u, 6] = float(np.mean(others)) if others else 0.0
+        # eccentricity / DSP distances per connected component: one dense
+        # BFS distance matrix via csgraph (inf across components) instead
+        # of walking networkx's all-pairs dict-of-dicts
+        dist = csgraph.shortest_path(_unweighted_csr(g, n), method="D", unweighted=True)
+        finite = np.isfinite(dist)
+        feats[:, 2] = np.where(finite, dist, 0.0).max(axis=1)
+        if dsp_nodes.size:
+            dd = dist[np.ix_(dsp_nodes, dsp_nodes)]
+            mask = np.isfinite(dd)
+            np.fill_diagonal(mask, False)
+            sums = np.where(mask, dd, 0.0).sum(axis=1)
+            counts = mask.sum(axis=1)
+            feats[dsp_nodes, 6] = np.where(
+                counts > 0, sums / np.maximum(counts, 1), 0.0
+            )
         return feats
 
     # ---- sampled approximations for large graphs ----

@@ -17,9 +17,18 @@ cost:
 
 Each iterate is an assignment problem under constraints (4); its constraint
 matrix is totally unimodular, so the min-cost-flow solution is integral.
-The ``engine`` knob selects this repo's successive-shortest-paths MCF over
-K-nearest candidate arcs (paper-faithful) or a dense Hungarian solve
-(`scipy`) — both exact, cross-checked in the tests.
+The ``engine`` knob selects the MCF formulation over K-nearest candidate
+arcs (paper-faithful; solved by the compiled sparse kernel in
+:mod:`repro.solvers.mcf`) or a dense Hungarian solve (`scipy`) — both
+exact, cross-checked in the tests.
+
+The whole iterate is vectorized (see ``docs/PERFORMANCE.md``): neighbour
+lists live in padded ``(N, K)`` index/weight matrices built once in
+``__init__`` and reused across all iterates, the cascade penalty is a
+scatter-add over precomputed partner index arrays, the true objective is a
+gather/einsum over a canonical DSP–DSP pair list, and per-row candidate
+windows are cached keyed on the cost-row hash so unchanged rows never
+re-run ``argpartition``.
 """
 
 from __future__ import annotations
@@ -85,6 +94,21 @@ class AssignmentConfig:
     #: "medium" level; this knob trades compactness against it). 0 = off.
     congestion_weight: float = 0.0
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1, got {self.max_iterations} "
+                "(the loop needs at least one linearization iterate)"
+            )
+        if self.patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {self.patience}")
+        if self.candidate_k < 1:
+            raise ConfigurationError(f"candidate_k must be >= 1, got {self.candidate_k}")
+        if self.max_neighbors < 1:
+            raise ConfigurationError(
+                f"max_neighbors must be >= 1, got {self.max_neighbors}"
+            )
 
 
 class DatapathDSPAssigner:
@@ -154,6 +178,70 @@ class DatapathDSPAssigner:
                 kp, ks = pos_in_dsps[pred], pos_in_dsps[succ]
                 self._partners[ks].append((kp, +1))
                 self._pairs.append((kp, ks))
+        self._pos_in_dsps = pos_in_dsps
+        # flattened cascade-pull arrays for the cost matrix's scatter-add:
+        # row k of the cost gets +η and −η at (prev site of partner)+offset
+        casc = [
+            (k, partner, offset)
+            for k, plist in enumerate(self._partners)
+            for partner, offset in plist
+        ]
+        self._casc_row = np.array([c[0] for c in casc], dtype=np.int64)
+        self._casc_partner = np.array([c[1] for c in casc], dtype=np.int64)
+        self._casc_offset = np.array([c[2] for c in casc], dtype=np.int64)
+        # (pred_k, succ_k) arrays for the objective's adjacency check
+        self._pair_kp = np.array([p[0] for p in self._pairs], dtype=np.int64)
+        self._pair_ks = np.array([p[1] for p in self._pairs], dtype=np.int64)
+        self._rebuild_neighbor_arrays()
+        #: per-row candidate-window cache: row -> (k, cost-row hash, window)
+        self._cand_cache: dict[int, tuple[int, int, np.ndarray]] = {}
+
+    def _rebuild_neighbor_arrays(self) -> None:
+        """Derive the vectorized views of ``self._neighbors``.
+
+        Called at construction and whenever the neighbour weights change
+        (:meth:`set_criticality` / :meth:`clear_criticality`):
+
+        - ``_nbr_idx`` / ``_nbr_w``: the ragged neighbour lists padded into
+          ``(N, K)`` matrices (pad weight 0 ⇒ padded entries contribute
+          nothing), so the linearized wirelength is three stacked rank-1
+          numpy ops per iterate;
+        - ``_ext_*``: flattened (row, neighbour-cell, weight) triples for
+          neighbours *outside* the assigned DSP set;
+        - ``_dd_a``/``_dd_b``/``_dd_w``: the canonical DSP–DSP pair list.
+          Each unordered pair appears exactly once with the mean of the
+          per-side weights that survived top-K truncation — equal to the
+          old both-sides-halved accounting when both sides are present, and
+          the full weight (not half) when truncation kept only one side.
+        """
+        n = len(self.dsps)
+        kmax = max((idx.size for idx, _ in self._neighbors), default=1)
+        self._nbr_idx = np.zeros((n, max(kmax, 1)), dtype=np.int64)
+        self._nbr_w = np.zeros((n, max(kmax, 1)))
+        ext_k: list[int] = []
+        ext_j: list[int] = []
+        ext_w: list[float] = []
+        pair_acc: dict[tuple[int, int], tuple[float, int]] = {}
+        for k, (idx, val) in enumerate(self._neighbors):
+            self._nbr_idx[k, : idx.size] = idx
+            self._nbr_w[k, : idx.size] = val
+            for j, w in zip(idx.tolist(), val.tolist()):
+                kj = self._pos_in_dsps.get(j)
+                if kj is None:
+                    ext_k.append(k)
+                    ext_j.append(j)
+                    ext_w.append(w)
+                elif kj != k:
+                    key = (k, kj) if k < kj else (kj, k)
+                    acc, cnt = pair_acc.get(key, (0.0, 0))
+                    pair_acc[key] = (acc + w, cnt + 1)
+        self._ext_k = np.array(ext_k, dtype=np.int64)
+        self._ext_j = np.array(ext_j, dtype=np.int64)
+        self._ext_w = np.array(ext_w)
+        keys = sorted(pair_acc)
+        self._dd_a = np.array([a for a, _ in keys], dtype=np.int64)
+        self._dd_b = np.array([b for _, b in keys], dtype=np.int64)
+        self._dd_w = np.array([pair_acc[k][0] / pair_acc[k][1] for k in keys])
 
     # ------------------------------------------------------------------
     def set_criticality(self, cell_output_slack: np.ndarray, period_ns: float, boost: float = 2.0) -> None:
@@ -172,9 +260,11 @@ class DatapathDSPAssigner:
             crit = np.where(np.isnan(crit), 0.0, crit)
             scaled.append((idx, val * (1.0 + boost * crit)))
         self._neighbors = scaled
+        self._rebuild_neighbor_arrays()
 
     def clear_criticality(self) -> None:
         self._neighbors = list(self._base_neighbors)
+        self._rebuild_neighbor_arrays()
 
     def set_congestion_map(self, congestion: np.ndarray) -> None:
         """Sample a routing-congestion bin map at every DSP site.
@@ -195,35 +285,40 @@ class DatapathDSPAssigner:
     def cost_matrix(
         self, placement: Placement, prev_sites: np.ndarray | None
     ) -> np.ndarray:
-        """Linearized (N, M) cost of placing DSP k on site j (eq. 9)."""
+        """Linearized (N, M) cost of placing DSP k on site j (eq. 9).
+
+        Fully batched: the wirelength expansion
+        ``W_k·|s_j|² − 2·s_j·m_k + q_k`` runs as three stacked rank-1 numpy
+        ops over the padded ``(N, K)`` neighbour matrices, and the cascade
+        reward is a scatter-add over the precomputed partner index arrays.
+        """
         cfg = self.config
         n = len(self.dsps)
         m = self.site_xy.shape[0]
-        cost = np.empty((n, m))
-        for k in range(n):
-            idx, val = self._neighbors[k]
-            if idx.size:
-                pts = placement.xy[idx]
-                w_sum = float(val.sum())
-                mvec = (val[:, None] * pts).sum(axis=0)
-                q = float((val * (pts**2).sum(axis=1)).sum())
-                wl = w_sum * self._site_sq - 2.0 * (self.site_xy @ mvec) + q
-            else:
-                wl = np.zeros(m)
-            cost[k] = cfg.wl_scale * wl
+        pts = placement.xy[self._nbr_idx]  # (n, K, 2); padded weights are 0
+        w = self._nbr_w
+        w_sum = w.sum(axis=1)
+        mvec = np.einsum("nk,nkd->nd", w, pts)
+        q = np.einsum("nk,nkd->n", w, pts**2)
+        cost = cfg.wl_scale * (
+            w_sum[:, None] * self._site_sq[None, :]
+            - 2.0 * (mvec @ self.site_xy.T)
+            + q[:, None]
+        )
         cost += self._angle_coef[:, None] * self._site_cos[None, :]
         if cfg.congestion_weight > 0 and self._site_congestion is not None:
             cost += cfg.congestion_weight * self._site_congestion[None, :]
-        if prev_sites is not None and cfg.eta > 0:
-            for k in range(n):
-                for partner, offset in self._partners[k]:
-                    ps = prev_sites[partner]
-                    if ps < 0:
-                        continue
-                    target = ps + offset
-                    cost[k] += cfg.eta
-                    if 0 <= target < m and self._site_col[target] == self._site_col[ps]:
-                        cost[k, target] -= cfg.eta
+        if prev_sites is not None and cfg.eta > 0 and self._casc_row.size:
+            ps = prev_sites[self._casc_partner]
+            live = ps >= 0
+            rows, ps = self._casc_row[live], ps[live]
+            row_bias = np.zeros(n)
+            np.add.at(row_bias, rows, cfg.eta)
+            cost += row_bias[:, None]
+            target = ps + self._casc_offset[live]
+            ok = (target >= 0) & (target < m)
+            ok[ok] &= self._site_col[target[ok]] == self._site_col[ps[ok]]
+            np.subtract.at(cost, (rows[ok], target[ok]), cfg.eta)
         return cost
 
     def _solve_engine(
@@ -252,13 +347,7 @@ class DatapathDSPAssigner:
         # MCF over K-nearest candidate arcs (+ previous site for feasibility)
         k = min(cfg.candidate_k, m)
         while True:
-            arcs: list[tuple[int, int, float]] = []
-            for i in range(n):
-                cand = np.argpartition(cost[i], k - 1)[:k]
-                for j in cand:
-                    arcs.append((i, int(j), float(cost[i, j])))
-                if prev_sites is not None and prev_sites[i] >= 0:
-                    arcs.append((i, int(prev_sites[i]), float(cost[i, prev_sites[i]])))
+            arcs = self._candidate_arcs(cost, k, prev_sites)
             try:
                 assignment = min_cost_assignment(n, m, arcs)
                 break
@@ -270,6 +359,43 @@ class DatapathDSPAssigner:
         for i, j in assignment.items():
             out[i] = j
         return out
+
+    def _candidate_arcs(
+        self, cost: np.ndarray, k: int, prev_sites: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """K-nearest candidate arc arrays, with per-row window caching.
+
+        Windows are keyed on ``(k, hash(row bytes))``: a cost row that is
+        bit-identical to the previous solve (e.g. a DSP whose neighbourhood
+        and cascade pulls did not move between iterates) reuses its cached
+        ``argpartition`` result instead of re-ranking all M sites. Any stale
+        rows are re-partitioned together in one batched call.
+        """
+        n, m = cost.shape
+        digests = [hash(cost[i].tobytes()) for i in range(n)]
+        cand = np.empty((n, k), dtype=np.int64)
+        stale = []
+        for i in range(n):
+            hit = self._cand_cache.get(i)
+            if hit is not None and hit[0] == k and hit[1] == digests[i]:
+                cand[i] = hit[2]
+            else:
+                stale.append(i)
+        metrics.inc("assignment.cand_cache.hits", n - len(stale))
+        metrics.inc("assignment.cand_cache.misses", len(stale))
+        if stale:
+            rows = np.asarray(stale, dtype=np.int64)
+            fresh = np.argpartition(cost[rows], k - 1, axis=1)[:, :k]
+            cand[rows] = fresh
+            for i, window in zip(stale, fresh):
+                self._cand_cache[i] = (k, digests[i], window.copy())
+        agents = np.repeat(np.arange(n, dtype=np.int64), k)
+        slots = cand.reshape(-1)
+        if prev_sites is not None:
+            prev_rows = np.flatnonzero(prev_sites >= 0)
+            agents = np.concatenate([agents, prev_rows])
+            slots = np.concatenate([slots, prev_sites[prev_rows]])
+        return agents, slots, cost[agents, slots]
 
     def _solve_once(
         self,
@@ -310,36 +436,29 @@ class DatapathDSPAssigner:
         assigned site (other cells at their placement coordinates); the
         angle term is λ·Σ(cos θ_pred − cos θ_succ) over DSP-graph edges and
         the cascade term charges η per non-adjacent cascade pair.
+
+        DSP–DSP wirelength runs over the canonical pair list built in
+        :meth:`_rebuild_neighbor_arrays`, charging each unordered pair
+        exactly once. (Until PR 3 every DSP–DSP term was halved on the
+        assumption the pair shows up in both neighbour lists; top-K
+        truncation can keep the edge on one side only, which undercounted
+        that connection's wirelength by 2×.)
         """
         cfg = self.config
-        pos = placement.xy
-        new_xy = {cell: self.site_xy[sites[k]] for k, cell in enumerate(self.dsps)}
-
-        def _pos(cell: int) -> np.ndarray:
-            return new_xy.get(cell, pos[cell])
-
-        in_dsps = {d: k for k, d in enumerate(self.dsps)}
+        dsp_xy = self.site_xy[sites]  # (n, 2): assigned coordinates
         total = 0.0
-        for k, cell in enumerate(self.dsps):
-            idx, val = self._neighbors[k]
-            p0 = new_xy[cell]
-            for j, w in zip(idx, val):
-                d = p0 - _pos(int(j))
-                term = w * float(d @ d)
-                # dsp-dsp pairs appear from both endpoints: halve
-                total += term / 2.0 if int(j) in in_dsps else term
+        if self._ext_k.size:
+            d = dsp_xy[self._ext_k] - placement.xy[self._ext_j]
+            total += float(self._ext_w @ np.einsum("ij,ij->i", d, d))
+        if self._dd_a.size:
+            d = dsp_xy[self._dd_a] - dsp_xy[self._dd_b]
+            total += float(self._dd_w @ np.einsum("ij,ij->i", d, d))
         total *= cfg.wl_scale
-        cos = self._site_cos
-        for k in range(len(self.dsps)):
-            total += self._angle_coef[k] * cos[sites[k]]
-        if cfg.eta > 0:
-            for kp, ks in self._pairs:
-                adjacent = (
-                    sites[ks] == sites[kp] + 1
-                    and self._site_col[sites[ks]] == self._site_col[sites[kp]]
-                )
-                if not adjacent:
-                    total += cfg.eta
+        total += float(self._angle_coef @ self._site_cos[sites])
+        if cfg.eta > 0 and self._pair_kp.size:
+            sp_, ss_ = sites[self._pair_kp], sites[self._pair_ks]
+            adjacent = (ss_ == sp_ + 1) & (self._site_col[ss_] == self._site_col[sp_])
+            total += cfg.eta * float(np.count_nonzero(~adjacent))
         return total
 
     def solve(
@@ -375,9 +494,12 @@ class DatapathDSPAssigner:
                     break
                 guard.check_budget()  # no iterate finished: raises
             with trace.span("assignment.iterate", i=iters) as it_sp:
-                cost = self.cost_matrix(place, prev_sites)
-                sites = self._solve_once(cost, prev_sites, guard)
-                true_obj = self.objective(sites, placement)
+                with trace.span("assignment.cost_matrix"):
+                    cost = self.cost_matrix(place, prev_sites)
+                with trace.span("assignment.solve", engine=cfg.engine):
+                    sites = self._solve_once(cost, prev_sites, guard)
+                with trace.span("assignment.objective"):
+                    true_obj = self.objective(sites, placement)
                 it_sp.set(objective=true_obj)
             metrics.inc("assignment.iterates")
             metrics.observe("assignment.objective", true_obj)
@@ -396,9 +518,15 @@ class DatapathDSPAssigner:
                 break  # converged, cycled, or stopped improving
             seen.add(key)
             prev_sites = sites
-            for k, cell in enumerate(self.dsps):
-                place.xy[cell] = self.site_xy[sites[k]]
-        for k, cell in enumerate(self.dsps):
-            place.xy[cell] = self.site_xy[best_sites[k]]
+            place.xy[self.dsps] = self.site_xy[sites]
+        if best_sites is None:
+            # unreachable while AssignmentConfig enforces max_iterations >= 1
+            # (the guard's budget path breaks out only with a best-so-far);
+            # kept so a future loop edit fails loudly instead of with a
+            # TypeError on the dereference below.
+            raise SolverError(
+                "assignment loop finished without completing a single iterate"
+            )
+        place.xy[self.dsps] = self.site_xy[best_sites]
         result = {cell: int(best_sites[k]) for k, cell in enumerate(self.dsps)}
         return result, iters

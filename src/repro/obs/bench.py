@@ -1,0 +1,242 @@
+"""Hot-path perf-regression harness (``BENCH_hotpaths.json``).
+
+The DSP assignment loop and feature extraction are the flow's measured hot
+paths (see ``docs/PERFORMANCE.md``). This module runs them under an
+:func:`repro.obs.observe` block on a pinned, fully deterministic workload
+(fixed suite/scale/seeds, fixed iteration cap) and folds the resulting
+spans into a small JSON document:
+
+```
+{
+  "kind": "repro.bench_hotpaths",
+  "schema_version": 1,
+  "workload": "skynet@0.25",
+  "suite": "skynet", "scale": 0.25, "seed": 0,
+  "n_cells": ..., "n_datapath_dsps": ..., "iterates": ...,
+  "stages": {"assignment.iterate": {"wall_s": ..., "cpu_s": ..., "count": ...}, ...}
+}
+```
+
+The committed baseline at the repo root (``BENCH_hotpaths.json``) holds one
+such document per workload under ``"workloads"``, plus an optional
+``"reference"`` block recording historical (pre-optimization) wall times.
+:func:`compare` flags any gated stage whose wall time regressed beyond the
+threshold; ``python -m repro.obs.bench`` is the CI entry point::
+
+    PYTHONPATH=src python -m repro.obs.bench --suite skynet --scale 0.05 \
+        --baseline BENCH_hotpaths.json --fail-threshold 0.25 \
+        --out benchmarks/results/BENCH_hotpaths.json
+
+Refresh the committed baseline after an intentional perf change with
+``--update`` (it preserves each workload's ``reference`` block).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import obs
+from repro.obs.report import aggregate_spans
+
+BENCH_KIND = "repro.bench_hotpaths"
+BENCH_SCHEMA_VERSION = 1
+
+#: spans the harness records per workload
+HOTPATH_STAGES = (
+    "assignment.iterate",
+    "assignment.cost_matrix",
+    "assignment.solve",
+    "assignment.objective",
+    "extraction.features",
+)
+
+#: stages gated by :func:`compare` (the rest are informational breakdown)
+GATED_STAGES = ("assignment.iterate", "extraction.features")
+
+
+def workload_id(suite: str, scale: float) -> str:
+    return f"{suite}@{scale:g}"
+
+
+def run_hotpaths(
+    suite: str = "skynet",
+    scale: float = 0.25,
+    seed: int = 0,
+    max_iterations: int = 12,
+    features_scale: float = 0.01,
+) -> dict[str, Any]:
+    """Run the hot paths once and return the bench document.
+
+    The assignment workload places ``suite`` at ``scale`` on the full
+    ZCU104 fabric with the paper-faithful MCF engine; the feature-extraction
+    workload regenerates the suite at ``features_scale`` so it exercises the
+    exact (sub-``exact_threshold``) centrality path.
+    """
+    # imports are local so `repro.obs` never depends on the flow packages
+    from repro.accelgen import generate_suite
+    from repro.core.extraction import (
+        build_dsp_graph,
+        extract_node_features,
+        iddfs_dsp_paths,
+        prune_control_dsps,
+    )
+    from repro.core.placement import AssignmentConfig, DatapathDSPAssigner
+    from repro.fpga import zcu104
+    from repro.placers import VivadoLikePlacer
+
+    dev = zcu104()
+    netlist = generate_suite(suite, scale=scale, device=dev, seed=0)
+    paths = iddfs_dsp_paths(netlist)
+    graph = build_dsp_graph(netlist, paths)
+    flags = {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()}
+    dgraph = prune_control_dsps(graph, flags)
+    dsps = sorted(dgraph.nodes)
+    place = VivadoLikePlacer(seed=0, device=dev).place(netlist)
+    feat_netlist = generate_suite(suite, scale=features_scale, seed=0)
+
+    with obs.observe() as ob:
+        assigner = DatapathDSPAssigner(
+            netlist,
+            dev,
+            dgraph,
+            dsps,
+            AssignmentConfig(max_iterations=max_iterations, seed=seed),
+        )
+        _, iterates = assigner.solve(place.copy())
+        extract_node_features(feat_netlist)
+
+    agg = aggregate_spans(ob.tracer.to_dicts())
+    return {
+        "kind": BENCH_KIND,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload_id(suite, scale),
+        "suite": suite,
+        "scale": scale,
+        "seed": seed,
+        "max_iterations": max_iterations,
+        "features_scale": features_scale,
+        "n_cells": len(netlist.cells),
+        "n_datapath_dsps": len(dsps),
+        "iterates": iterates,
+        "stages": {
+            name: agg[name] for name in HOTPATH_STAGES if name in agg
+        },
+    }
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.25,
+    stages: tuple[str, ...] = GATED_STAGES,
+) -> list[str]:
+    """Regression check of a fresh run against the committed baseline.
+
+    Returns a list of human-readable problems — empty means no stage's
+    wall time exceeded ``baseline × (1 + threshold)``. A missing baseline
+    workload is itself a problem (the gate must not silently pass).
+    """
+    problems: list[str] = []
+    wid = current.get("workload", "?")
+    base = baseline.get("workloads", {}).get(wid)
+    if base is None:
+        return [
+            f"no baseline entry for workload {wid!r} — refresh with "
+            f"`python -m repro.obs.bench --suite {current.get('suite')} "
+            f"--scale {current.get('scale')} --baseline BENCH_hotpaths.json --update`"
+        ]
+    for name in stages:
+        cur = current.get("stages", {}).get(name)
+        ref = base.get("stages", {}).get(name)
+        if cur is None or ref is None:
+            problems.append(f"{wid}: stage {name!r} missing from current/baseline run")
+            continue
+        limit = ref["wall_s"] * (1.0 + threshold)
+        if cur["wall_s"] > limit:
+            problems.append(
+                f"{wid}: {name} regressed — {cur['wall_s']:.4f}s vs baseline "
+                f"{ref['wall_s']:.4f}s (> {threshold:.0%} slower)"
+            )
+    return problems
+
+
+def update_baseline(baseline: dict[str, Any] | None, doc: dict[str, Any]) -> dict[str, Any]:
+    """Insert/replace ``doc``'s workload in a baseline document.
+
+    Preserves an existing workload's ``reference`` block (the historical
+    pre-optimization measurements) across refreshes.
+    """
+    out = dict(baseline or {})
+    out.setdefault("kind", BENCH_KIND)
+    out.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    workloads = dict(out.get("workloads", {}))
+    entry = {k: v for k, v in doc.items() if k not in ("kind", "schema_version")}
+    old = workloads.get(doc["workload"])
+    if old is not None and "reference" in old:
+        entry["reference"] = old["reference"]
+    workloads[doc["workload"]] = entry
+    out["workloads"] = workloads
+    return out
+
+
+def _main(argv: list[str] | None = None) -> int:
+    import argparse
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="run the hot-path benchmark and gate against a baseline",
+    )
+    parser.add_argument("--suite", default="skynet")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iterations", type=int, default=12)
+    parser.add_argument("--features-scale", type=float, default=0.01)
+    parser.add_argument("--out", help="write the fresh run document here")
+    parser.add_argument("--baseline", help="baseline JSON to compare against")
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=0.25,
+        help="fail when a gated stage is this fraction slower than baseline",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with this run instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_hotpaths(
+        suite=args.suite,
+        scale=args.scale,
+        seed=args.seed,
+        max_iterations=args.iterations,
+        features_scale=args.features_scale,
+    )
+    print(json.dumps(doc["stages"], indent=2, sort_keys=True))
+    if args.out:
+        pathlib.Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        pathlib.Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    if not args.baseline:
+        return 0
+    path = pathlib.Path(args.baseline)
+    if args.update:
+        baseline = json.loads(path.read_text()) if path.exists() else None
+        path.write_text(json.dumps(update_baseline(baseline, doc), indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {path}")
+        return 0
+    if not path.exists():
+        print(f"baseline {path} not found")
+        return 1
+    problems = compare(doc, json.loads(path.read_text()), threshold=args.fail_threshold)
+    for p in problems:
+        print(f"REGRESSION: {p}")
+    if not problems:
+        print(f"ok: within {args.fail_threshold:.0%} of baseline for {doc['workload']}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

@@ -8,13 +8,25 @@ the flow optimum — is integral (Section IV-A).
 
 The solver maintains node potentials so Dijkstra runs on non-negative
 reduced costs; an initial Bellman-Ford pass absorbs negative edge costs.
+
+:func:`min_cost_assignment` — the per-iterate kernel of the linearized DSP
+assignment loop — dispatches the common unit-slot-capacity case to scipy's
+sparse LAPJVsp (``csgraph.min_weight_full_bipartite_matching``), which
+solves the identical integral LP in compiled code; the pure-Python
+successive-shortest-paths network above remains the reference
+implementation (``method="ssp"``) and the only path for
+``slot_capacity != 1``. Both see the same deduplicated arc set, so their
+optima coincide (cross-checked in the tests).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
 
 from repro.errors import SolverInfeasibleError, SolverInputError
 from repro.obs import metrics
@@ -139,57 +151,83 @@ class MinCostFlow:
         return total_flow, total_cost
 
 
-@dataclass(frozen=True)
-class _AssignmentArcs:
-    """Bookkeeping for :func:`min_cost_assignment`."""
-
-    edge_ids: dict[tuple[int, int], int]
+ArcArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
-def min_cost_assignment(
+def _normalize_arcs(
+    n_agents: int, n_slots: int, arcs: list[tuple[int, int, float]] | ArcArrays
+) -> ArcArrays:
+    """Validate arcs and deduplicate ``(agent, slot)`` keys keeping the
+    *minimum* cost.
+
+    Duplicate arcs arise in the DSP loop when the previous-site feasibility
+    arc coincides with a candidate-window arc; keeping the first listed cost
+    (the pre-PR-3 behaviour) could shadow a cheaper duplicate, so the min
+    wins regardless of listing order.
+    """
+    if isinstance(arcs, tuple) and len(arcs) == 3:
+        agents = np.asarray(arcs[0], dtype=np.int64)
+        slots = np.asarray(arcs[1], dtype=np.int64)
+        costs = np.asarray(arcs[2], dtype=np.float64)
+    else:
+        agents = np.fromiter((a for a, _, _ in arcs), dtype=np.int64, count=len(arcs))
+        slots = np.fromiter((s for _, s, _ in arcs), dtype=np.int64, count=len(arcs))
+        costs = np.fromiter((c for _, _, c in arcs), dtype=np.float64, count=len(arcs))
+    if agents.size and (
+        agents.min() < 0
+        or agents.max() >= n_agents
+        or slots.min() < 0
+        or slots.max() >= n_slots
+    ):
+        bad = np.flatnonzero(
+            (agents < 0) | (agents >= n_agents) | (slots < 0) | (slots >= n_slots)
+        )[0]
+        raise IndexError(f"arc ({agents[bad]}, {slots[bad]}) out of range")
+    order = np.lexsort((costs, slots, agents))
+    agents, slots, costs = agents[order], slots[order], costs[order]
+    keep = np.ones(agents.size, dtype=bool)
+    keep[1:] = (agents[1:] != agents[:-1]) | (slots[1:] != slots[:-1])
+    return agents[keep], slots[keep], costs[keep]
+
+
+def _assignment_lapjvsp(
+    n_agents: int, n_slots: int, agents: np.ndarray, slots: np.ndarray, costs: np.ndarray
+) -> dict[int, int]:
+    """Unit-capacity assignment via scipy's sparse LAPJVsp."""
+    # LAPJVsp drops explicit zeros from the sparsity pattern; shift every
+    # cost strictly positive — a uniform shift adds n_agents·shift to every
+    # perfect matching, leaving the argmin unchanged.
+    lo = float(costs.min())
+    shifted = costs + (1.0 - lo) if lo < 1.0 else costs
+    graph = sp.csr_matrix((shifted, (agents, slots)), shape=(n_agents, n_slots))
+    try:
+        rows, cols = csgraph.min_weight_full_bipartite_matching(graph)
+    except ValueError as exc:
+        raise SolverInfeasibleError(f"infeasible assignment: {exc}") from exc
+    metrics.inc("mcf.lapjvsp_solves")
+    return {int(r): int(c) for r, c in zip(rows, cols)}
+
+
+def _assignment_ssp(
     n_agents: int,
     n_slots: int,
-    arcs: list[tuple[int, int, float]],
-    slot_capacity: int = 1,
+    agents: np.ndarray,
+    slots: np.ndarray,
+    costs: np.ndarray,
+    slot_capacity: int,
 ) -> dict[int, int]:
-    """Assign every agent to a slot at minimum total cost.
-
-    Args:
-        n_agents: Agents 0..n_agents-1; each must receive exactly one slot.
-        n_slots: Slots 0..n_slots-1; each takes at most ``slot_capacity``
-            agents.
-        arcs: Candidate ``(agent, slot, cost)`` triples. Agents may only be
-            assigned along a listed arc (the DSP placement restricts each
-            DSP to a candidate window of sites).
-
-    Returns:
-        ``{agent: slot}`` covering all agents.
-
-    Raises:
-        SolverInfeasibleError: If no feasible complete assignment exists.
-    """
-    if n_agents == 0:
-        return {}
+    """Reference path: the successive-shortest-paths flow network."""
     s = n_agents + n_slots
     t = s + 1
     net = MinCostFlow(n_agents + n_slots + 2)
     for a in range(n_agents):
         net.add_edge(s, a, 1, 0.0)
-    slot_edge: list[int | None] = [None] * n_slots
     edge_ids: dict[tuple[int, int], int] = {}
-    seen_slots: set[int] = set()
-    for agent, slot, cost in arcs:
-        if not 0 <= agent < n_agents or not 0 <= slot < n_slots:
-            raise IndexError(f"arc ({agent}, {slot}) out of range")
-        key = (agent, slot)
-        if key in edge_ids:
-            continue
-        edge_ids[key] = net.add_edge(agent, n_agents + slot, 1, float(cost))
-        seen_slots.add(slot)
-    for slot in seen_slots:
-        slot_edge[slot] = net.add_edge(n_agents + slot, t, slot_capacity, 0.0)
+    for agent, slot, cost in zip(agents.tolist(), slots.tolist(), costs.tolist()):
+        edge_ids[(agent, slot)] = net.add_edge(agent, n_agents + slot, 1, cost)
+    for slot in np.unique(slots).tolist():
+        net.add_edge(n_agents + slot, t, slot_capacity, 0.0)
 
-    metrics.inc("mcf.arcs", len(edge_ids))
     flow, _cost = net.min_cost_flow(s, t, n_agents)
     if flow < n_agents - 1e-9:
         raise SolverInfeasibleError(
@@ -200,3 +238,51 @@ def min_cost_assignment(
         if net.flow_on(eid) > 0.5:
             result[agent] = slot
     return result
+
+
+def min_cost_assignment(
+    n_agents: int,
+    n_slots: int,
+    arcs: list[tuple[int, int, float]] | ArcArrays,
+    slot_capacity: int = 1,
+    method: str = "auto",
+) -> dict[int, int]:
+    """Assign every agent to a slot at minimum total cost.
+
+    Args:
+        n_agents: Agents 0..n_agents-1; each must receive exactly one slot.
+        n_slots: Slots 0..n_slots-1; each takes at most ``slot_capacity``
+            agents.
+        arcs: Candidate ``(agent, slot, cost)`` triples — either a list of
+            tuples or a ``(agents, slots, costs)`` array triple (the DSP
+            loop passes arrays to avoid materialising tuples). Duplicate
+            ``(agent, slot)`` keys keep the minimum cost. Agents may only
+            be assigned along a listed arc (the DSP placement restricts
+            each DSP to a candidate window of sites).
+        slot_capacity: Agents a slot can take; only ``1`` is eligible for
+            the compiled fast path.
+        method: ``"auto"`` (LAPJVsp when ``slot_capacity == 1``),
+            ``"lapjvsp"``, or ``"ssp"`` (the reference flow network).
+
+    Returns:
+        ``{agent: slot}`` covering all agents.
+
+    Raises:
+        SolverInfeasibleError: If no feasible complete assignment exists.
+    """
+    if method not in ("auto", "lapjvsp", "ssp"):
+        raise SolverInputError(f"unknown assignment method {method!r}")
+    if n_agents == 0:
+        return {}
+    agents, slots, costs = _normalize_arcs(n_agents, n_slots, arcs)
+    metrics.inc("mcf.arcs", int(agents.size))
+    if np.unique(agents).size < n_agents:
+        raise SolverInfeasibleError(
+            f"infeasible assignment: {n_agents - np.unique(agents).size} of "
+            f"{n_agents} agents have no candidate arc"
+        )
+    if method == "lapjvsp" and slot_capacity != 1:
+        raise SolverInputError("lapjvsp requires slot_capacity == 1")
+    if slot_capacity == 1 and method != "ssp":
+        return _assignment_lapjvsp(n_agents, n_slots, agents, slots, costs)
+    return _assignment_ssp(n_agents, n_slots, agents, slots, costs, slot_capacity)

@@ -94,9 +94,58 @@ class TestAssignment:
         with pytest.raises(IndexError):
             min_cost_assignment(1, 1, [(0, 5, 1.0)])
 
-    def test_duplicate_arcs_ignored(self):
+    def test_duplicate_arcs_collapse(self):
         asg = min_cost_assignment(1, 1, [(0, 0, 1.0), (0, 0, 99.0)])
         assert asg == {0: 0}
+
+    @pytest.mark.parametrize(
+        "arcs",
+        [
+            # cheap duplicate listed last (the order that used to lose)
+            [(0, 0, 5.0), (0, 1, 3.0), (0, 0, 1.0)],
+            # cheap duplicate listed first
+            [(0, 0, 1.0), (0, 1, 3.0), (0, 0, 5.0)],
+        ],
+    )
+    def test_duplicate_arcs_keep_min_cost(self, arcs):
+        """A duplicate (agent, slot) arc keeps the *minimum* cost regardless
+        of listing order. First-wins (the pre-PR-3 behaviour) would price
+        slot 0 at 5.0 in the first ordering and wrongly pick slot 1."""
+        assert min_cost_assignment(1, 2, arcs) == {0: 0}
+        assert min_cost_assignment(1, 2, arcs, method="ssp") == {0: 0}
+
+    def test_arc_arrays_input(self):
+        """The DSP loop passes (agents, slots, costs) arrays, not tuples."""
+        arcs = (
+            np.array([0, 0, 1, 1]),
+            np.array([0, 1, 0, 1]),
+            np.array([1.0, 9.0, 9.0, 1.0]),
+        )
+        assert min_cost_assignment(2, 2, arcs) == {0: 0, 1: 1}
+
+    def test_agent_without_arcs_infeasible(self):
+        with pytest.raises(ValueError, match="no candidate arc"):
+            min_cost_assignment(2, 2, [(0, 0, 1.0), (0, 1, 1.0)])
+
+    def test_methods_agree_with_negative_costs(self):
+        arcs = [(0, 0, -5.0), (0, 1, -1.0), (1, 0, -2.0), (1, 1, -4.0)]
+        assert min_cost_assignment(2, 2, arcs, method="lapjvsp") == {0: 0, 1: 1}
+        assert min_cost_assignment(2, 2, arcs, method="ssp") == {0: 0, 1: 1}
+
+    def test_zero_cost_arcs_survive_lapjvsp(self):
+        """Explicit zeros must not vanish from the sparse matching input."""
+        arcs = [(0, 0, 0.0), (0, 1, 7.0), (1, 1, 0.0)]
+        assert min_cost_assignment(2, 2, arcs, method="lapjvsp") == {0: 0, 1: 1}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown assignment method"):
+            min_cost_assignment(1, 1, [(0, 0, 1.0)], method="simplex")
+
+    def test_lapjvsp_rejects_capacity(self):
+        with pytest.raises(ValueError, match="slot_capacity"):
+            min_cost_assignment(
+                2, 1, [(0, 0, 1.0), (1, 0, 1.0)], slot_capacity=2, method="lapjvsp"
+            )
 
 
 @settings(max_examples=60, deadline=None)
@@ -121,6 +170,47 @@ def test_mcf_matches_hungarian(data):
     got = sum(cost[i, asg[i]] for i in range(n))
     _, ref = hungarian(cost)
     assert got == pytest.approx(ref, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_ssp_matches_lapjvsp_on_sparse_arcs(data):
+    """Property: the pure-Python reference and the compiled LAPJVsp path
+    return equally cheap assignments on sparse candidate windows with
+    negative costs and duplicate arcs.
+
+    Sparse arc sets leave some slot nodes with no incoming arc, so the
+    initial Bellman-Ford pass finds them unreachable and defaults their
+    potential to 0.0 — this property pins down that those defaults never
+    corrupt the reduced costs (an unreachable node can only stay
+    unreachable as residual capacity shrinks during the successive
+    shortest paths).
+    """
+    n = data.draw(st.integers(1, 6))
+    m = data.draw(st.integers(n, 8))
+    arcs = []
+    for i in range(n):
+        # a guaranteed distinct slot per agent keeps the instance feasible
+        arcs.append((i, i, data.draw(st.floats(-20, 20, allow_nan=False))))
+        for _ in range(data.draw(st.integers(0, 4))):
+            arcs.append(
+                (
+                    i,
+                    data.draw(st.integers(0, m - 1)),
+                    data.draw(st.floats(-20, 20, allow_nan=False)),
+                )
+            )
+    ssp = min_cost_assignment(n, m, arcs, method="ssp")
+    fast = min_cost_assignment(n, m, arcs, method="lapjvsp")
+    best = {}
+    for i, j, c in arcs:
+        best[(i, j)] = min(best.get((i, j), math.inf), c)
+    for asg in (ssp, fast):
+        assert sorted(asg) == list(range(n))
+        assert len(set(asg.values())) == n
+    cost_ssp = sum(best[(i, j)] for i, j in ssp.items())
+    cost_fast = sum(best[(i, j)] for i, j in fast.items())
+    assert cost_ssp == pytest.approx(cost_fast, abs=1e-6)
 
 
 @settings(max_examples=30, deadline=None)
