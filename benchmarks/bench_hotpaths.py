@@ -2,7 +2,8 @@
 
 Unlike the figure/table benches, this one reproduces no paper artifact: it
 guards the flow's measured hot paths — the linearized MCF assignment
-iterate and feature extraction — against wall-clock regressions. The
+iterate and the extraction kernels (feature centralities, DSP path
+search, DSP-graph build) — against wall-clock regressions. The
 workload protocol lives in :mod:`repro.obs.bench`; the committed baseline
 at the repo root records the expected per-stage timings (plus the
 pre-vectorization reference measurements, see ``docs/PERFORMANCE.md``).

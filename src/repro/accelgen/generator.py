@@ -81,21 +81,24 @@ def _chain_plan(cfg: AcceleratorConfig) -> tuple[list[int], int]:
     whatever the chain split leaves over joins the post-processing pool so
     the total datapath DSP count is exact.
     """
-    reserve = max(1, cfg.n_datapath_dsps // (cfg.chain_len * cfg.pes_per_pu))
-    n = max(cfg.chain_len, cfg.n_datapath_dsps - reserve)
+    budget = cfg.n_datapath_dsps
+    if budget < 2:
+        # degenerate tiny config; borrow control DSP slots for one chain
+        return [cfg.chain_len], 0
+    reserve = max(1, budget // (cfg.chain_len * cfg.pes_per_pu))
+    if budget - reserve < 2:
+        reserve = budget - 2  # shrink the reserve before overflowing the budget
+    n = budget - reserve
     chains: list[int] = []
     while n >= cfg.chain_len:
         chains.append(cfg.chain_len)
         n -= cfg.chain_len
     if n >= 2:
-        chains.append(n)
+        chains.append(n)  # one truncated chain when the budget is short
         n = 0
-    # n in {0, 1}: a single leftover DSP joins the last chain
-    if n == 1 and chains:
-        chains[-1] += 1
-    elif n == 1:
-        chains.append(2)  # degenerate tiny config; borrow one control DSP slot
-    n_postproc = max(0, cfg.n_datapath_dsps - sum(chains))
+    if n == 1:
+        chains[-1] += 1  # a single leftover DSP joins the last chain
+    n_postproc = budget - sum(chains)
     return chains, n_postproc
 
 

@@ -1,5 +1,6 @@
 """Datapath DSP extraction (paper Section III)."""
 
+from repro.core.extraction.brandes import betweenness_csr
 from repro.core.extraction.features import FeatureConfig, extract_node_features, FEATURE_NAMES
 from repro.core.extraction.iddfs import iddfs_dsp_paths, DSPPath
 from repro.core.extraction.dsp_graph import build_dsp_graph, prune_control_dsps
@@ -10,6 +11,7 @@ from repro.core.extraction.identification import (
 )
 
 __all__ = [
+    "betweenness_csr",
     "FeatureConfig",
     "extract_node_features",
     "FEATURE_NAMES",

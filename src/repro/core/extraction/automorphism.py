@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 
 
@@ -27,9 +28,10 @@ def wl_colors(netlist: Netlist, n_rounds: int = 2) -> list[tuple[int, ...]]:
     Returns, for each cell, the tuple of its colour ids over rounds
     (round 0 = cell kind). Colour ids are dense ints per round.
     """
-    n = len(netlist.cells)
+    ctx = get_csr(netlist)
+    n = ctx.n
     neigh: list[list[int]] = [[] for _ in range(n)]
-    for u, v, _w in netlist.iter_edges():
+    for u, v in zip(ctx.edge_src.tolist(), ctx.edge_dst.tolist()):
         neigh[u].append(v)
         neigh[v].append(u)
 
@@ -68,23 +70,26 @@ def automorphism_features(
     """
     from repro.netlist.cell import CellType
 
-    n = len(netlist.cells)
+    ctx = get_csr(netlist)
+    n = ctx.n
     colors = wl_colors(netlist, n_rounds=n_rounds)
-    indeg = np.zeros(n)
-    outdeg = np.zeros(n)
     kind_ids = {k: i for i, k in enumerate(CellType)}
-    kind_hist = np.zeros((n, len(kind_ids)))
-    for u, v, _w in netlist.iter_edges():
-        outdeg[u] += 1
-        indeg[v] += 1
-        kind_hist[u, kind_ids[netlist.cells[v].ctype]] += 1
-        kind_hist[v, kind_ids[netlist.cells[u].ctype]] += 1
+    n_kinds = len(kind_ids)
+    kind = np.fromiter((kind_ids[c.ctype] for c in netlist.cells), dtype=np.int64, count=n)
+    # multi-edge (per-pin) degrees and neighbour-kind histograms as
+    # bincounts over the flattened edge arrays — no per-edge Python loop
+    src, dst = ctx.edge_src, ctx.edge_dst
+    outdeg = np.bincount(src, minlength=n).astype(np.float64)
+    indeg = np.bincount(dst, minlength=n).astype(np.float64)
+    kind_hist = (
+        np.bincount(src * n_kinds + kind[dst], minlength=n * n_kinds)
+        + np.bincount(dst * n_kinds + kind[src], minlength=n * n_kinds)
+    ).reshape(n, n_kinds).astype(np.float64)
 
     cols = [indeg, outdeg, kind_hist]
     if max_class_feature:
+        color_mat = np.array(colors, dtype=np.int64).reshape(n, n_rounds + 1)
         for r in range(n_rounds + 1):
-            counts: dict[int, int] = {}
-            for u in range(n):
-                counts[colors[u][r]] = counts.get(colors[u][r], 0) + 1
-            cols.append(np.array([np.log1p(counts[colors[u][r]]) for u in range(n)]))
+            counts = np.bincount(color_mat[:, r])
+            cols.append(np.log1p(counts[color_mat[:, r]].astype(np.float64)))
     return np.column_stack(cols)

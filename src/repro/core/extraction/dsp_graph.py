@@ -14,6 +14,27 @@ import numpy as np
 
 from repro.core.extraction.iddfs import DSPPath, iddfs_dsp_paths
 from repro.netlist.netlist import Netlist
+from repro.obs import trace
+
+
+def _dedupe_paths(paths: list[DSPPath]) -> list[DSPPath]:
+    """Keep one path per (src, dst): min dist, then min storage — batched.
+
+    The BFS engine already emits unique pairs; externally supplied path
+    lists (ablations, fault injection) may not, so dedupe lexicographically
+    in one ``np.lexsort`` instead of per-edge dict probing.
+    """
+    if len(paths) < 2:
+        return paths
+    arr = np.array([(p.src, p.dst, p.dist, p.n_storage) for p in paths], dtype=np.int64)
+    order = np.lexsort((arr[:, 3], arr[:, 2], arr[:, 1], arr[:, 0]))
+    arr = arr[order]
+    first = np.ones(len(arr), dtype=bool)
+    first[1:] = (arr[1:, 0] != arr[:-1, 0]) | (arr[1:, 1] != arr[:-1, 1])
+    return [
+        DSPPath(src=int(s), dst=int(d), dist=int(di), n_storage=int(st))
+        for s, d, di, st in arr[first]
+    ]
 
 
 def build_dsp_graph(
@@ -25,24 +46,23 @@ def build_dsp_graph(
     """Construct the initial DSP graph (all DSPs, incl. control path).
 
     Edge weights favour tight coupling: ``weight = 1 / dist``. Cascade
-    macro pairs are additionally marked ``cascade=True``.
+    macro pairs are additionally marked ``cascade=True``. Duplicate
+    (src, dst) paths collapse to the (min dist, min storage) edge.
     """
     if paths is None:
         paths = iddfs_dsp_paths(netlist, max_depth=max_depth, max_fanout=max_fanout)
-    g = nx.DiGraph()
-    for idx in netlist.dsp_indices():
-        g.add_node(idx, name=netlist.cells[idx].name)
-    for p in paths:
-        if g.has_edge(p.src, p.dst):
-            if p.dist < g[p.src][p.dst]["dist"]:
-                g[p.src][p.dst].update(dist=p.dist, n_storage=p.n_storage, weight=1.0 / p.dist)
-        else:
+    with trace.span("extraction.dsp_graph", n_paths=len(paths)) as sp:
+        g = nx.DiGraph()
+        for idx in netlist.dsp_indices():
+            g.add_node(idx, name=netlist.cells[idx].name)
+        for p in _dedupe_paths(paths):
             g.add_edge(p.src, p.dst, dist=p.dist, n_storage=p.n_storage, weight=1.0 / p.dist)
-    for pred, succ in netlist.cascade_pairs():
-        if g.has_edge(pred, succ):
-            g[pred][succ]["cascade"] = True
-        else:
-            g.add_edge(pred, succ, dist=1, n_storage=0, weight=1.0, cascade=True)
+        for pred, succ in netlist.cascade_pairs():
+            if g.has_edge(pred, succ):
+                g[pred][succ]["cascade"] = True
+            else:
+                g.add_edge(pred, succ, dist=1, n_storage=0, weight=1.0, cascade=True)
+        sp.set(n_edges=g.number_of_edges())
     return g
 
 

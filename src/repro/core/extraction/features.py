@@ -6,24 +6,29 @@ Each node gets the paper's seven-dimensional feature vector:
 (d) indegree, (e) outdegree, (f) betweenness centrality, and (g) — DSP
 nodes only — the average shortest-path distance to other DSP nodes.
 
-Exact centralities are O(V·E); on netlists with 10⁵ cells we use the
-standard pivot-sampling approximations (distances from ``n_pivots`` BFS
-sources via :mod:`scipy.sparse.csgraph`; Brandes betweenness sampled over
-``n_pivots`` sources via networkx). Graphs below ``exact_threshold`` nodes
-are computed exactly, which is what the definition unit tests check against
-(Definitions 1–3 / Fig. 4).
+The default backend computes everything on the shared
+:class:`~repro.netlist.csr.NetlistCSR` context with compiled/vectorized
+kernels: degrees from CSR ``indptr`` diffs, feedback loops via
+``csgraph.connected_components(connection="strong")``, closeness and
+eccentricity from the dense BFS distance matrix, and betweenness via the
+level-synchronous Brandes kernel (:mod:`repro.core.extraction.brandes`).
+On netlists above ``exact_threshold`` nodes the standard pivot-sampling
+approximations kick in (distances from ``n_pivots`` BFS sources, Brandes
+over sampled pivots). ``FeatureConfig(backend="networkx")`` selects the
+original pure-Python networkx implementation, kept as the equivalence-test
+reference (Definitions 1–3 / Fig. 4).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
-from repro.netlist.graph import netlist_to_digraph
+from repro.core.extraction.brandes import betweenness_csr
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 from repro.obs import trace
 
@@ -37,6 +42,8 @@ FEATURE_NAMES = (
     "avg_dsp_dist",
 )
 
+BACKENDS = ("kernels", "networkx")
+
 
 @dataclass(frozen=True)
 class FeatureConfig:
@@ -45,56 +52,81 @@ class FeatureConfig:
     n_pivots: int = 48
     exact_threshold: int = 2500
     seed: int = 0
+    backend: str = "kernels"
 
-
-def _unweighted_csr(g: nx.DiGraph, n: int) -> sp.csr_matrix:
-    rows, cols = [], []
-    for u, v in g.edges:
-        rows.append(u)
-        cols.append(v)
-    data = np.ones(len(rows))
-    a = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
-    a = a + a.T  # undirected view for distances
-    a.data[:] = 1.0
-    return a.tocsr()
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
 
 
 def extract_node_features(netlist: Netlist, config: FeatureConfig | None = None) -> np.ndarray:
     """Compute the ``(n_cells, 7)`` feature matrix of a netlist graph."""
     config = config or FeatureConfig()
-    with trace.span("extraction.features", n_cells=len(netlist.cells)):
+    with trace.span(
+        "extraction.features", n_cells=len(netlist.cells), backend=config.backend
+    ):
+        if config.backend == "networkx":
+            return _features_networkx(netlist, config)
         return _features_impl(netlist, config)
 
 
-def _features_impl(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
-    g = netlist_to_digraph(netlist)
-    n = len(netlist.cells)
-    feats = np.zeros((n, len(FEATURE_NAMES)))
+def _sampled_closeness(
+    dist: np.ndarray, pivots: np.ndarray, n: int, k: int
+) -> np.ndarray:
+    """(a) closeness ≈ (reachable pivots, excluding self) / Σ distance.
 
-    # (d)/(e) degrees
-    feats[:, 3] = [g.in_degree(i) for i in range(n)]
-    feats[:, 4] = [g.out_degree(i) for i in range(n)]
+    Only pivot nodes carry their own zero self-distance in the pivot-distance
+    matrix, so only pivot rows discount one reachable pivot; subtracting 1
+    for every node biased non-pivot closeness low by one pivot.
+    """
+    finite = np.isfinite(dist)
+    sums = np.where(finite, dist, 0.0).sum(axis=0)
+    counts = finite.sum(axis=0)
+    is_pivot = np.zeros(n, dtype=np.int64)
+    is_pivot[pivots] = 1
+    reachable_others = counts - is_pivot
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(sums > 0, reachable_others / sums, 0.0) * (counts / max(k, 1))
+
+
+def _features_impl(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
+    ctx = get_csr(netlist)
+    n = ctx.n
+    feats = np.zeros((n, len(FEATURE_NAMES)))
+    if n == 0:
+        return feats
+
+    # (d)/(e) degrees straight off the CSR index pointers
+    feats[:, 3] = ctx.indegree
+    feats[:, 4] = ctx.outdegree
 
     # (b) feedback loops: membership in a non-trivial strongly connected
     # component of the directed graph (control feedback per the paper)
-    for comp in nx.strongly_connected_components(g):
-        if len(comp) > 1:
-            for u in comp:
-                feats[u, 1] = 1.0
+    n_comp, labels = csgraph.connected_components(
+        ctx.directed, directed=True, connection="strong"
+    )
+    comp_sizes = np.bincount(labels, minlength=n_comp)
+    feats[:, 1] = (comp_sizes[labels] > 1).astype(np.float64)
 
-    dsp_nodes = np.array(netlist.dsp_indices(), dtype=np.int64)
-    exact = n <= config.exact_threshold
-    if exact:
-        ug = g.to_undirected(reciprocal=False)
-        closeness = nx.closeness_centrality(ug)
-        betweenness = nx.betweenness_centrality(ug, normalized=True)
-        feats[:, 0] = [closeness[i] for i in range(n)]
-        feats[:, 5] = [betweenness[i] for i in range(n)]
-        # eccentricity / DSP distances per connected component: one dense
-        # BFS distance matrix via csgraph (inf across components) instead
-        # of walking networkx's all-pairs dict-of-dicts
-        dist = csgraph.shortest_path(_unweighted_csr(g, n), method="D", unweighted=True)
+    dsp_nodes = ctx.dsp_indices
+    adj = ctx.undirected
+    if n <= config.exact_threshold:
+        # (f) exact betweenness via the batched Brandes kernel; its forward
+        # BFS hands back the dense distance matrix feeding (a), (c) and (g)
+        feats[:, 5], dist = betweenness_csr(
+            adj, normalized=True, directed=False, return_distances=True
+        )
         finite = np.isfinite(dist)
+        # (a) exact closeness with the Wasserman-Faust component scaling
+        # (networkx's wf_improved convention): ((r-1)/Σd) · ((r-1)/(n-1))
+        # where r counts reachable nodes including self
+        totdist = np.where(finite, dist, 0.0).sum(axis=1)
+        reach = finite.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            feats[:, 0] = np.where(
+                totdist > 0, (reach - 1) ** 2 / (totdist * max(n - 1, 1)), 0.0
+            )
+        # (c) eccentricity per connected component (inf pairs masked out)
         feats[:, 2] = np.where(finite, dist, 0.0).max(axis=1)
         if dsp_nodes.size:
             dd = dist[np.ix_(dsp_nodes, dsp_nodes)]
@@ -109,27 +141,99 @@ def _features_impl(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
 
     # ---- sampled approximations for large graphs ----
     rng = np.random.default_rng(config.seed)
-    adj = _unweighted_csr(g, n)
     k = min(config.n_pivots, n)
     pivots = rng.choice(n, size=k, replace=False)
     dist = csgraph.dijkstra(adj, indices=pivots, unweighted=True)  # (k, n)
-    finite = np.isfinite(dist)
-    # (a) closeness ≈ (reachable pivots) / Σ distance-to-pivots
-    sums = np.where(finite, dist, 0.0).sum(axis=0)
-    counts = finite.sum(axis=0)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        feats[:, 0] = np.where(sums > 0, (counts - 1).clip(min=0) / sums, 0.0) * (
-            counts / max(k, 1)
-        )
+    feats[:, 0] = _sampled_closeness(dist, pivots, n, k)
     # (c) eccentricity ≈ max distance to any pivot (lower bound of true ecc)
-    feats[:, 2] = np.where(finite, dist, 0.0).max(axis=0)
+    feats[:, 2] = np.where(np.isfinite(dist), dist, 0.0).max(axis=0)
 
-    # (f) sampled Brandes betweenness
+    # (f) Brandes betweenness over sampled pivot sources
+    kb = min(k, n - 1)
+    bw_sources = rng.choice(n, size=kb, replace=False)
+    feats[:, 5] = betweenness_csr(adj, sources=bw_sources, normalized=True)
+
+    # (g) avg shortest-path distance to other DSPs ≈ via DSP pivots
+    if dsp_nodes.size >= 2:
+        kd = min(config.n_pivots, dsp_nodes.size)
+        dsp_pivots = rng.choice(dsp_nodes, size=kd, replace=False)
+        ddist = csgraph.dijkstra(adj, indices=dsp_pivots, unweighted=True)[:, dsp_nodes]
+        dfinite = np.isfinite(ddist)
+        dsums = np.where(dfinite, ddist, 0.0).sum(axis=0)
+        dcounts = np.maximum(dfinite.sum(axis=0), 1)
+        feats[dsp_nodes, 6] = dsums / dcounts
+    return feats
+
+
+# ----------------------------------------------------------------------
+# networkx reference backend (pure Python; the equivalence-test pin)
+# ----------------------------------------------------------------------
+
+
+def _unweighted_csr_nx(g, n: int) -> sp.csr_matrix:
+    rows, cols = [], []
+    for u, v in g.edges:
+        rows.append(u)
+        cols.append(v)
+    data = np.ones(len(rows))
+    a = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    a = a + a.T  # undirected view for distances
+    a.data[:] = 1.0
+    return a.tocsr()
+
+
+def _features_networkx(netlist: Netlist, config: FeatureConfig) -> np.ndarray:
+    import networkx as nx
+
+    from repro.netlist.graph import netlist_to_digraph
+
+    g = netlist_to_digraph(netlist)
+    n = len(netlist.cells)
+    feats = np.zeros((n, len(FEATURE_NAMES)))
+    if n == 0:
+        return feats
+
+    feats[:, 3] = [g.in_degree(i) for i in range(n)]
+    feats[:, 4] = [g.out_degree(i) for i in range(n)]
+
+    for comp in nx.strongly_connected_components(g):
+        if len(comp) > 1:
+            for u in comp:
+                feats[u, 1] = 1.0
+
+    dsp_nodes = np.array(netlist.dsp_indices(), dtype=np.int64)
+    if n <= config.exact_threshold:
+        ug = g.to_undirected(reciprocal=False)
+        closeness = nx.closeness_centrality(ug)
+        betweenness = nx.betweenness_centrality(ug, normalized=True)
+        feats[:, 0] = [closeness[i] for i in range(n)]
+        feats[:, 5] = [betweenness[i] for i in range(n)]
+        dist = csgraph.shortest_path(_unweighted_csr_nx(g, n), method="D", unweighted=True)
+        finite = np.isfinite(dist)
+        feats[:, 2] = np.where(finite, dist, 0.0).max(axis=1)
+        if dsp_nodes.size:
+            dd = dist[np.ix_(dsp_nodes, dsp_nodes)]
+            mask = np.isfinite(dd)
+            np.fill_diagonal(mask, False)
+            sums = np.where(mask, dd, 0.0).sum(axis=1)
+            counts = mask.sum(axis=1)
+            feats[dsp_nodes, 6] = np.where(
+                counts > 0, sums / np.maximum(counts, 1), 0.0
+            )
+        return feats
+
+    rng = np.random.default_rng(config.seed)
+    adj = _unweighted_csr_nx(g, n)
+    k = min(config.n_pivots, n)
+    pivots = rng.choice(n, size=k, replace=False)
+    dist = csgraph.dijkstra(adj, indices=pivots, unweighted=True)
+    feats[:, 0] = _sampled_closeness(dist, pivots, n, k)
+    feats[:, 2] = np.where(np.isfinite(dist), dist, 0.0).max(axis=0)
+
     ug = g.to_undirected(reciprocal=False)
     bw = nx.betweenness_centrality(ug, k=min(k, n - 1), normalized=True, seed=int(config.seed))
     feats[:, 5] = [bw[i] for i in range(n)]
 
-    # (g) avg shortest-path distance to other DSPs ≈ via DSP pivots
     if dsp_nodes.size >= 2:
         kd = min(config.n_pivots, dsp_nodes.size)
         dsp_pivots = rng.choice(dsp_nodes, size=kd, replace=False)

@@ -1,4 +1,4 @@
-"""Iterative deepening DFS between DSP nodes (paper Section III-B).
+"""DSP-to-DSP datapath search (paper Section III-B).
 
 The paper adopts IDDFS for DSP-graph construction because plain DFS misses
 shortest paths and BFS's frontier is too large for netlist-scale graphs;
@@ -7,14 +7,38 @@ follows signal direction (driver → sink), stops when it reaches another DSP
 (DSP-graph edges are DSP-to-DSP datapaths with no DSP in between), skips
 very-high-fanout nets (clock/reset/enable broadcast, never datapath), and
 records the distance and the number of storage cells along each found path.
+
+Two engines produce identical results:
+
+- ``method="bfs"`` (default) — a depth-bounded multi-source level-synchronous
+  BFS over the fanout-filtered CSR adjacency from the shared
+  :class:`~repro.netlist.csr.NetlistCSR` context. Per-(source, node)
+  shortest distance and minimum storage count propagate through frontier
+  matrices with batched numpy gathers/scatters, over blocks of DSP sources.
+- ``method="python"`` — the paper-faithful per-source iterative-deepening
+  DFS, kept as the property-test reference. It stops deepening as soon as
+  no node's shortest distance equals the current limit (the frontier stopped
+  growing, so no deeper path can exist through an unexplored node).
+
+Both record, per reached (src, dst) pair, the shortest distance and the
+*minimum* storage count over the shortest paths — a deterministic quantity
+(the old DFS recorded whichever shortest path it happened to walk first).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 from repro.obs import metrics, trace
+
+METHODS = ("bfs", "python")
+
+#: sources per BFS block; bounds the dense (block, n_cells) work arrays
+_BLOCK = 256
 
 
 @dataclass(frozen=True)
@@ -32,6 +56,7 @@ def iddfs_dsp_paths(
     max_depth: int = 6,
     max_fanout: int = 16,
     sources: list[int] | None = None,
+    method: str = "bfs",
 ) -> list[DSPPath]:
     """All shortest DSP→DSP paths up to ``max_depth`` netlist hops.
 
@@ -40,15 +65,164 @@ def iddfs_dsp_paths(
             adder trees) are short, control broadcast is not.
         max_fanout: Nets wider than this are not traversed.
         sources: Restrict path search to these source DSPs.
+        method: ``"bfs"`` (batched kernel) or ``"python"`` (IDDFS reference).
 
     Returns:
-        One :class:`DSPPath` per (src, dst) pair found, shortest distance.
+        One :class:`DSPPath` per (src, dst) pair found — shortest distance,
+        minimum storage count over the shortest paths — sorted by (src, dst).
     """
-    with trace.span("extraction.iddfs", max_depth=max_depth) as sp:
-        out = _iddfs_impl(netlist, max_depth, max_fanout, sources)
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    with trace.span("extraction.iddfs", max_depth=max_depth, method=method) as sp:
+        if method == "bfs":
+            out = _bfs_impl(netlist, max_depth, max_fanout, sources)
+        else:
+            out = _iddfs_impl(netlist, max_depth, max_fanout, sources)
         sp.set(n_paths=len(out))
     metrics.inc("extraction.iddfs.paths", len(out))
     return out
+
+
+# ----------------------------------------------------------------------
+# batched level-synchronous BFS kernel
+# ----------------------------------------------------------------------
+
+
+def _bfs_impl(
+    netlist: Netlist,
+    max_depth: int,
+    max_fanout: int,
+    sources: list[int] | None,
+) -> list[DSPPath]:
+    ctx = get_csr(netlist)
+    n = ctx.n
+    adj = ctx.fanout_filtered(max_fanout)
+    indptr, indices = adj.indptr, adj.indices
+    storage_w = ctx.is_storage.astype(np.int32)
+    srcs = np.asarray(
+        sources if sources is not None else ctx.dsp_indices, dtype=np.int64
+    )
+    out: list[DSPPath] = []
+    if n == 0 or srcs.size == 0:
+        return out
+    dsp_cols = ctx.dsp_indices
+    unreached = np.int32(n + 1)  # storage sentinel > any possible count
+
+    # the dense (block, n) work arrays dominate runtime if reallocated per
+    # block, so they are allocated once and only the keys a block actually
+    # touched are reset afterwards — per-block work stays proportional to
+    # the reached set, not to block·n
+    s_max = min(_BLOCK, srcs.size)
+    dflat = np.full(s_max * n, -1, dtype=np.int32)
+    sflat = np.full(s_max * n, unreached, dtype=np.int32)
+    tag = np.empty(s_max * n, dtype=np.int64)  # scatter-based dedup scratch
+
+    for start in range(0, srcs.size, _BLOCK):
+        block = srcs[start : start + _BLOCK]
+        s = block.size
+        rows = np.arange(s)
+        # frontier as flat (block-row * n, node) pairs
+        rowkeys, fnode = rows * n, block
+        fkeys = rowkeys + fnode
+        src_keys = fkeys
+        dflat[src_keys] = 0
+        sflat[src_keys] = 0
+        touched = [src_keys]
+        for depth in range(max_depth):
+            if fnode.size == 0:
+                break
+            starts = indptr[fnode]
+            counts = indptr[fnode + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # expand every frontier entry's edge list in one fused gather
+            running = np.cumsum(counts) - counts
+            pos = np.arange(total) + np.repeat(starts - running, counts)
+            targets = indices[pos]
+            cand = np.repeat(sflat[fkeys], counts) + storage_w[targets]
+            keys = np.repeat(rowkeys, counts) + targets
+            # a node reached at an earlier level is final; only unvisited
+            # (src, node) pairs take this level's distance / storage minimum
+            fresh = np.flatnonzero(dflat[keys] == -1)
+            keys, cand = keys[fresh], cand[fresh]
+            np.minimum.at(sflat, keys, cand)
+            dflat[keys] = depth + 1
+            # dedup without sorting/hashing: last scatter wins
+            eidx = np.arange(keys.size)
+            tag[keys] = eidx
+            sel = np.flatnonzero(tag[keys] == eidx)
+            fkeys = keys[sel]
+            touched.append(fkeys)
+            fnode = targets[fresh[sel]]
+            interior = ~ctx.is_dsp[fnode]  # DSPs terminate the path
+            fkeys, fnode = fkeys[interior], fnode[interior]
+            rowkeys = fkeys - fnode
+        # every DSP with a positive distance is a found destination
+        ddist = dflat[: s * n].reshape(s, n)[:, dsp_cols]
+        hit_r, hit_c = np.nonzero(ddist > 0)
+        dstor = sflat[: s * n].reshape(s, n)[:, dsp_cols]
+        out.extend(
+            DSPPath(src=int(block[r]), dst=int(dsp_cols[c]),
+                    dist=int(ddist[r, c]), n_storage=int(dstor[r, c]))
+            for r, c in zip(hit_r.tolist(), hit_c.tolist())
+        )
+        for keys in touched:
+            dflat[keys] = -1
+            sflat[keys] = unreached
+    out.sort(key=lambda p: (p.src, p.dst))
+    return out
+
+
+# ----------------------------------------------------------------------
+# pure-Python iterative-deepening reference
+# ----------------------------------------------------------------------
+
+
+def _iddfs_single_source(
+    adj: list[list[int]],
+    is_dsp: list[bool],
+    is_storage: list[bool],
+    src: int,
+    max_depth: int,
+) -> tuple[dict[int, tuple[int, int]], int]:
+    """IDDFS from one source; returns ``(found, deepest_limit_run)``.
+
+    ``found`` maps destination DSPs to the lexicographically minimal
+    ``(dist, n_storage)`` label. Deepening stops early once no node's
+    shortest distance equals the current limit: every longer path must pass
+    through an interior node at exactly the limit depth, so an empty "new at
+    the limit" frontier proves deeper limits cannot discover anything.
+    """
+    found: dict[int, tuple[int, int]] = {}
+    limit = 0
+    for limit in range(1, max_depth + 1):
+        # depth-limited DFS with lexicographic (depth, storage) pruning: a
+        # node is re-expanded whenever reached with a strictly better label
+        best: dict[int, tuple[int, int]] = {src: (0, 0)}
+        stack: list[tuple[int, int, int]] = [(src, 0, 0)]
+        while stack:
+            node, depth, storage = stack.pop()
+            if depth >= limit:
+                continue
+            for nxt in adj[node]:
+                nd = depth + 1
+                if is_dsp[nxt]:
+                    if nxt != src:
+                        label = (nd, storage)
+                        prev = found.get(nxt)
+                        if prev is None or label < prev:
+                            found[nxt] = label
+                    continue  # do not pass through DSPs
+                label = (nd, storage + (1 if is_storage[nxt] else 0))
+                prev = best.get(nxt)
+                if prev is not None and prev <= label:
+                    continue
+                best[nxt] = label
+                stack.append((nxt, *label))
+        if not any(d == limit for d, _ in best.values()):
+            break  # frontier stopped growing; deeper search cannot find more
+    return found, limit
 
 
 def _iddfs_impl(
@@ -70,33 +244,8 @@ def _iddfs_impl(
 
     out: list[DSPPath] = []
     for src in dsps:
-        found: dict[int, tuple[int, int]] = {}  # dst -> (dist, n_storage)
-        for limit in range(1, max_depth + 1):
-            targets_before = len(found)
-            # depth-limited DFS with best-depth pruning: a node reached at
-            # depth d is only re-expanded if reached cheaper later
-            best_depth: dict[int, int] = {src: 0}
-            stack: list[tuple[int, int, int]] = [(src, 0, 0)]  # node, depth, storage
-            while stack:
-                node, depth, storage = stack.pop()
-                if depth >= limit:
-                    continue
-                for nxt in adj[node]:
-                    nd = depth + 1
-                    if is_dsp[nxt]:
-                        if nxt != src and nxt not in found:
-                            found[nxt] = (nd, storage)
-                        continue  # do not pass through DSPs
-                    prev = best_depth.get(nxt)
-                    if prev is not None and prev <= nd:
-                        continue
-                    best_depth[nxt] = nd
-                    stack.append((nxt, nd, storage + (1 if is_storage[nxt] else 0)))
-            if len(found) == targets_before and limit > 1:
-                # nothing new at this depth; deeper search can still find
-                # more, but iterative deepening re-explores everything, so
-                # keep going only while the frontier grows
-                continue
+        found, _ = _iddfs_single_source(adj, is_dsp, is_storage, src, max_depth)
         for dst, (dist, storage) in found.items():
             out.append(DSPPath(src=src, dst=dst, dist=dist, n_storage=storage))
+    out.sort(key=lambda p: (p.src, p.dst))
     return out

@@ -25,11 +25,9 @@ from repro.ml.metrics import accuracy
 from repro.ml.svm import LinearSVM
 from repro.ml.train import GraphSample, TrainResult, train_gcn
 from repro.netlist.cell import CellType
-from repro.netlist.graph import netlist_to_digraph
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 from repro.obs import metrics, trace
-
-import scipy.sparse as sp
 
 #: Fallback feature columns for the local-only SVM baseline when a sample
 #: carries no automorphism features: the two strictly-local columns
@@ -78,21 +76,16 @@ def build_graph_sample(
     if features is None:
         features = extract_node_features(netlist, feature_config)
     local = automorphism_features(netlist)
-    n = len(netlist.cells)
-    rows, cols = [], []
-    for u, v, _w in netlist.iter_edges():
-        rows.append(u)
-        cols.append(v)
-    adj = sp.coo_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
-    adj = ((adj + adj.T) > 0).astype(np.float64)
-    a_hat = normalized_adjacency(adj.tocsr())
+    ctx = get_csr(netlist)
+    n = ctx.n
+    # the binary symmetrized adjacency comes straight from the shared CSR
+    # context instead of a per-call Python edge walk
+    a_hat = normalized_adjacency(ctx.undirected)
 
     labels = np.zeros(n, dtype=np.int64)
-    mask = np.zeros(n, dtype=bool)
-    for c in netlist.cells:
-        if c.ctype.is_dsp:
-            mask[c.index] = True
-            labels[c.index] = 1 if c.is_datapath else 0
+    mask = ctx.is_dsp.copy()
+    for idx in ctx.dsp_indices:
+        labels[idx] = 1 if netlist.cells[idx].is_datapath else 0
     return GraphSample(
         a_hat=a_hat,
         x=features,
@@ -104,12 +97,9 @@ def build_graph_sample(
 
 
 def _storage_neighbor_counts(netlist: Netlist) -> dict[int, int]:
-    g = netlist_to_digraph(netlist)
-    out: dict[int, int] = {}
-    for idx in netlist.dsp_indices():
-        nbrs = set(g.predecessors(idx)) | set(g.successors(idx))
-        out[idx] = sum(1 for v in nbrs if netlist.cells[v].ctype.is_storage)
-    return out
+    ctx = get_csr(netlist)
+    counts = ctx.undirected[ctx.dsp_indices] @ ctx.is_storage.astype(np.float64)
+    return {int(idx): int(c) for idx, c in zip(ctx.dsp_indices, np.asarray(counts).ravel())}
 
 
 def _two_means_split(values: np.ndarray) -> float:

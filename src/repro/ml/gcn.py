@@ -17,14 +17,18 @@ from repro.obs import metrics
 
 
 def normalized_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
-    """Kipf-Welling normalization with self-loops: D^{-1/2}(A+I)D^{-1/2}."""
+    """Kipf-Welling normalization with self-loops: D^{-1/2}(A+I)D^{-1/2}.
+
+    Scales the nonzeros in place on the COO triplets (one pass) instead of
+    two diagonal sparse-sparse products.
+    """
     n = adj.shape[0]
-    a = sp.csr_matrix(adj, dtype=np.float64)
-    a = a + sp.eye(n, format="csr")
-    deg = np.asarray(a.sum(axis=1)).ravel()
+    a = ((sp.csr_matrix(adj, dtype=np.float64) + sp.eye(n, format="csr"))).tocoo()
+    deg = np.zeros(n)
+    np.add.at(deg, a.row, a.data)
     d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
-    d = sp.diags(d_inv_sqrt)
-    return (d @ a @ d).tocsr()
+    a.data *= d_inv_sqrt[a.row] * d_inv_sqrt[a.col]
+    return a.tocsr()
 
 
 @dataclass(frozen=True)

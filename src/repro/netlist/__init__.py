@@ -10,6 +10,7 @@ from repro.netlist.cell import Cell, CellType
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist, NetlistStats
 from repro.netlist.macros import CascadeMacro
+from repro.netlist.csr import NetlistCSR, build_csr, get_csr
 from repro.netlist.graph import (
     netlist_to_digraph,
     netlist_to_graph,
@@ -26,6 +27,9 @@ __all__ = [
     "Netlist",
     "NetlistStats",
     "CascadeMacro",
+    "NetlistCSR",
+    "build_csr",
+    "get_csr",
     "netlist_to_digraph",
     "netlist_to_graph",
     "connectivity_matrix",

@@ -63,6 +63,9 @@ class Netlist:
         self.macros: list[CascadeMacro] = []
         self._cell_names: dict[str, int] = {}
         self.target_freq_mhz: float | None = None
+        #: structural revision counter; bumped by add_cell/add_net/add_macro so
+        #: derived caches (repro.netlist.csr.NetlistCSR) know when to rebuild
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -90,6 +93,7 @@ class Netlist:
         )
         self.cells.append(cell)
         self._cell_names[name] = index
+        self._version += 1
         return index
 
     def add_net(self, name: str, driver: int, sinks: Iterable[int], weight: float = 1.0) -> int:
@@ -102,6 +106,7 @@ class Netlist:
                 raise IndexError(f"net {name!r} references unknown cell index {idx}")
         index = len(self.nets)
         self.nets.append(Net(index=index, name=name, driver=driver, sinks=unique_sinks, weight=weight))
+        self._version += 1
         return index
 
     def add_macro(self, dsp_indices: Iterable[int]) -> int:
@@ -116,6 +121,7 @@ class Netlist:
                 raise ValueError(f"DSP {cell.name!r} already belongs to macro {cell.macro_id}")
             cell.macro_id = macro_id
         self.macros.append(CascadeMacro(macro_id=macro_id, dsps=chain))
+        self._version += 1
         return macro_id
 
     # ------------------------------------------------------------------

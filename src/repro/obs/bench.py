@@ -1,7 +1,8 @@
 """Hot-path perf-regression harness (``BENCH_hotpaths.json``).
 
-The DSP assignment loop and feature extraction are the flow's measured hot
-paths (see ``docs/PERFORMANCE.md``). This module runs them under an
+The DSP assignment loop and the extraction kernels (feature centralities,
+DSP path search, DSP-graph build) are the flow's measured hot paths (see
+``docs/PERFORMANCE.md``). This module runs them under an
 :func:`repro.obs.observe` block on a pinned, fully deterministic workload
 (fixed suite/scale/seeds, fixed iteration cap) and folds the resulting
 spans into a small JSON document:
@@ -49,10 +50,17 @@ HOTPATH_STAGES = (
     "assignment.solve",
     "assignment.objective",
     "extraction.features",
+    "extraction.iddfs",
+    "extraction.dsp_graph",
 )
 
 #: stages gated by :func:`compare` (the rest are informational breakdown)
-GATED_STAGES = ("assignment.iterate", "extraction.features")
+GATED_STAGES = (
+    "assignment.iterate",
+    "extraction.features",
+    "extraction.iddfs",
+    "extraction.dsp_graph",
+)
 
 
 def workload_id(suite: str, scale: float) -> str:
@@ -87,15 +95,17 @@ def run_hotpaths(
 
     dev = zcu104()
     netlist = generate_suite(suite, scale=scale, device=dev, seed=0)
-    paths = iddfs_dsp_paths(netlist)
-    graph = build_dsp_graph(netlist, paths)
-    flags = {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()}
-    dgraph = prune_control_dsps(graph, flags)
-    dsps = sorted(dgraph.nodes)
     place = VivadoLikePlacer(seed=0, device=dev).place(netlist)
     feat_netlist = generate_suite(suite, scale=features_scale, seed=0)
 
     with obs.observe() as ob:
+        # extraction hot paths: DSP path search + DSP-graph build are timed
+        # here (their spans are emitted inside the callees)
+        paths = iddfs_dsp_paths(netlist)
+        graph = build_dsp_graph(netlist, paths)
+        flags = {i: bool(netlist.cells[i].is_datapath) for i in netlist.dsp_indices()}
+        dgraph = prune_control_dsps(graph, flags)
+        dsps = sorted(dgraph.nodes)
         assigner = DatapathDSPAssigner(
             netlist,
             dev,
@@ -125,17 +135,23 @@ def run_hotpaths(
     }
 
 
+#: absolute slack added on top of the relative band — a 25% band on a
+#: millisecond-scale stage would gate pure scheduler jitter
+ABS_SLACK_S = 0.005
+
+
 def compare(
     current: dict[str, Any],
     baseline: dict[str, Any],
     threshold: float = 0.25,
     stages: tuple[str, ...] = GATED_STAGES,
+    abs_slack: float = ABS_SLACK_S,
 ) -> list[str]:
     """Regression check of a fresh run against the committed baseline.
 
     Returns a list of human-readable problems — empty means no stage's
-    wall time exceeded ``baseline × (1 + threshold)``. A missing baseline
-    workload is itself a problem (the gate must not silently pass).
+    wall time exceeded ``baseline × (1 + threshold) + abs_slack``. A missing
+    baseline workload is itself a problem (the gate must not silently pass).
     """
     problems: list[str] = []
     wid = current.get("workload", "?")
@@ -152,7 +168,7 @@ def compare(
         if cur is None or ref is None:
             problems.append(f"{wid}: stage {name!r} missing from current/baseline run")
             continue
-        limit = ref["wall_s"] * (1.0 + threshold)
+        limit = ref["wall_s"] * (1.0 + threshold) + abs_slack
         if cur["wall_s"] > limit:
             problems.append(
                 f"{wid}: {name} regressed — {cur['wall_s']:.4f}s vs baseline "

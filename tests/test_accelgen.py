@@ -61,6 +61,20 @@ class TestChainPlan:
         chains, _ = _chain_plan(small_cfg)
         assert all(2 <= c <= small_cfg.chain_len + 1 for c in chains)
 
+    def test_budget_smaller_than_one_chain(self):
+        # datapath budget (4) below chain_len used to overflow into an extra
+        # DSP: the plan forced a full-length chain instead of truncating it
+        cfg = AcceleratorConfig(
+            "t", total_dsps=6, chain_len=5, pes_per_pu=1, n_lut=400,
+            n_lutram=40, n_ff=450, n_bram=10, freq_mhz=100.0,
+            control_dsp_frac=0.25,
+        )
+        chains, n_pp = _chain_plan(cfg)
+        assert sum(chains) + n_pp == cfg.n_datapath_dsps
+        assert all(2 <= c <= cfg.chain_len + 1 for c in chains)
+        nl = generate_accelerator(cfg)
+        assert nl.stats().n_dsp == cfg.total_dsps
+
 
 class TestGeneratedStructure:
     def test_resource_totals_exact(self, small_cfg, small_nl):

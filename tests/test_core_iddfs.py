@@ -83,6 +83,45 @@ class TestIDDFSBasics:
         assert {p.src for p in paths} == {a}
 
 
+class TestEarlyExit:
+    def test_deepening_stops_when_frontier_exhausted(self):
+        """Regression for the dead ``continue``: once no node sits exactly at
+        the current depth limit, deeper limits cannot discover anything and
+        the reference engine must stop deepening."""
+        from repro.core.extraction.iddfs import _iddfs_single_source
+
+        # diameter-2 reachable set, but a huge max_depth
+        nl = Netlist("short")
+        a = nl.add_cell("a", CellType.DSP)
+        l1 = nl.add_cell("l1", CellType.LUT)
+        b = nl.add_cell("b", CellType.DSP)
+        nl.add_net("n0", a, [l1])
+        nl.add_net("n1", l1, [b])
+        adj = [[] for _ in nl.cells]
+        for net in nl.nets:
+            adj[net.driver].extend(net.sinks)
+        is_dsp = [c.ctype.is_dsp for c in nl.cells]
+        is_storage = [c.ctype.is_storage for c in nl.cells]
+        found, deepest = _iddfs_single_source(adj, is_dsp, is_storage, a, max_depth=50)
+        assert found == {b: (2, 0)}
+        assert deepest <= 3  # stopped as soon as the limit overshot the reach
+
+    def test_early_exit_does_not_truncate_results(self):
+        """The break must fire only when deepening is genuinely exhausted: a
+        long chain still yields its full-depth path."""
+        nl = Netlist("chain")
+        a = nl.add_cell("a", CellType.DSP)
+        prev = a
+        for i in range(5):
+            l = nl.add_cell(f"l{i}", CellType.LUT)
+            nl.add_net(f"n{i}", prev, [l])
+            prev = l
+        b = nl.add_cell("b", CellType.DSP)
+        nl.add_net("last", prev, [b])
+        (p,) = iddfs_dsp_paths(nl, max_depth=6, method="python")
+        assert (p.src, p.dst, p.dist) == (a, b, 6)
+
+
 def test_iddfs_distances_match_bfs(mini_accel):
     """Property on a real generated netlist: IDDFS distances equal BFS
     shortest distances on the fanout-filtered DSP-free digraph."""

@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.netlist import CellType, Netlist, connectivity_matrix, netlist_to_digraph, netlist_to_graph
+from repro.netlist.graph import _connectivity_matrix_loop
 
 
 @pytest.fixture()
@@ -77,3 +80,51 @@ class TestConnectivityMatrix:
     def test_unweighted_option(self, nl):
         w = connectivity_matrix(nl, use_net_weights=False)
         assert w[1, 2] == pytest.approx(0.5)  # 1.0 / (3-1)
+
+    def test_reads_weights_fresh(self, nl):
+        """In-place net reweighting (timing-driven flow) must be visible on
+        the next call — weights are never cached in NetlistCSR."""
+        before = connectivity_matrix(nl)[0, 1]
+        nl.nets[0].weight *= 4.0
+        assert connectivity_matrix(nl)[0, 1] == pytest.approx(4.0 * before)
+
+
+@st.composite
+def _rand_netlist(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    nl = Netlist("h")
+    for i in range(n):
+        nl.add_cell(f"c{i}", CellType.LUT if i % 2 else CellType.FF)
+    n_nets = draw(st.integers(min_value=1, max_value=2 * n))
+    for j in range(n_nets):
+        driver = draw(st.integers(min_value=0, max_value=n - 1))
+        sinks = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1).filter(lambda s: s != driver),
+                min_size=1,
+                max_size=n - 1,
+                unique=True,
+            )
+        )
+        weight = draw(st.floats(min_value=0.125, max_value=8.0, allow_nan=False))
+        nl.add_net(f"n{j}", driver, sinks, weight=round(weight * 8) / 8)
+    return nl
+
+
+class TestVectorizedAgainstLoop:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        _rand_netlist(),
+        st.sampled_from([1, 2, 4, 16]),
+        st.booleans(),
+    )
+    def test_matches_loop_reference(self, nl, max_clique_degree, use_net_weights):
+        """Vectorized builder ≡ the original per-net loop, including wide
+        nets falling back to the star model and duplicate pin pairs."""
+        fast = connectivity_matrix(
+            nl, max_clique_degree=max_clique_degree, use_net_weights=use_net_weights
+        )
+        ref = _connectivity_matrix_loop(
+            nl, max_clique_degree=max_clique_degree, use_net_weights=use_net_weights
+        )
+        assert abs(fast - ref).max() < 1e-12

@@ -59,22 +59,29 @@ class TestSimplex:
             solve_lp_simplex(np.array([1.0]), bounds=[(-math.inf, 1.0)])
 
 
+def _grid(lo: float, hi: float):
+    # Coefficients on a coarse 1/8 grid: epsilon-scale values (1e-10-ish)
+    # make feasibility itself tolerance-dependent and the HiGHS comparison
+    # meaningless — both solvers are "right" within their own tolerances.
+    return st.floats(lo, hi, allow_nan=False).map(lambda x: round(x * 8) / 8)
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.data())
 def test_simplex_matches_highs(data):
     n = data.draw(st.integers(1, 5))
     m = data.draw(st.integers(1, 4))
-    c = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n)))
+    c = np.array(data.draw(st.lists(_grid(-5, 5), min_size=n, max_size=n)))
     a = np.array(
         data.draw(
             st.lists(
-                st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n),
+                st.lists(_grid(-3, 3), min_size=n, max_size=n),
                 min_size=m,
                 max_size=m,
             )
         )
     )
-    b = np.array(data.draw(st.lists(st.floats(-2, 6, allow_nan=False), min_size=m, max_size=m)))
+    b = np.array(data.draw(st.lists(_grid(-2, 6), min_size=m, max_size=m)))
     bounds = [(0.0, 4.0)] * n  # finite box keeps both solvers bounded
     mine = solve_lp_simplex(c, A_ub=a, b_ub=b, bounds=bounds)
     ref = linprog(c, A_ub=a, b_ub=b, bounds=bounds, method="highs")
