@@ -25,7 +25,7 @@ def test_ablation_packing(benchmark, settings, emit):
     def run():
         out = {}
         for name, flag in (("unpacked", False), ("packed", True)):
-            p = VivadoLikePlacer(seed=settings.seed, pack_ble=flag).place(netlist, device)
+            p = VivadoLikePlacer(seed=settings.seed, pack_ble=flag, device=device).place(netlist)
             out[name] = (
                 p,
                 max_frequency(sta, p, router.route(p)),

@@ -27,11 +27,10 @@ def test_ablation_timing_driven(benchmark, settings, emit):
     def run():
         out = {}
         for name, make in (
-            ("vivado (WL)", lambda: VivadoLikePlacer(seed=settings.seed).place(netlist, device)),
+            ("vivado (WL)", lambda: VivadoLikePlacer(seed=settings.seed, device=device).place(netlist)),
             (
                 "vivado (TD)",
-                lambda: VivadoLikePlacer(seed=settings.seed, timing_driven=True).place(
-                    netlist, device
+                lambda: VivadoLikePlacer(seed=settings.seed, timing_driven=True, device=device).place(netlist
                 ),
             ),
             (

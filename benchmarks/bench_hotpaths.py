@@ -40,3 +40,31 @@ def test_hotpaths_no_regression(emit, results_dir):
     baseline = json.loads(BASELINE_PATH.read_text())
     problems = compare(doc, baseline, threshold=threshold)
     assert not problems, "\n".join(problems)
+
+
+def test_serve_throughput_no_regression(emit, results_dir):
+    """Sustained placements/minute through the serve worker pool.
+
+    Cold-places the five Table I suites via :class:`repro.serve.PlacementServer`
+    and gates the end-to-end ``serve.throughput`` span. The band is wider
+    than the kernel gates (default 60%) because the span covers process
+    scheduling and netlist generation, not one deterministic hot loop.
+    """
+    from repro.obs.bench import SERVE_GATED_STAGES, run_serve_throughput
+
+    threshold = float(os.environ.get("REPRO_BENCH_SERVE_THRESHOLD", "0.6"))
+    doc = run_serve_throughput()
+    (results_dir / "BENCH_serve.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    emit(
+        "bench_serve",
+        f"serve throughput on {doc['workload']}: "
+        f"{doc['placements_per_minute']:.1f} placements/min "
+        f"({doc['n_ok']}/{doc['n_jobs']} ok, {doc['workers']} workers)",
+    )
+    assert doc["n_ok"] == doc["n_jobs"]
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    problems = compare(doc, baseline, threshold=threshold, stages=SERVE_GATED_STAGES)
+    assert not problems, "\n".join(problems)

@@ -17,7 +17,7 @@ from repro.router import GlobalRouter, PatternRouter
 def test_router_model_agreement(benchmark, settings, emit):
     device = get_device(settings)
     netlist = get_netlist(settings, "skynet")
-    placement = VivadoLikePlacer(seed=settings.seed).place(netlist, device)
+    placement = VivadoLikePlacer(seed=settings.seed, device=device).place(netlist)
 
     def run():
         rudy = GlobalRouter(grid=(24, 24)).route(placement)

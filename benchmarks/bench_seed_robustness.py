@@ -29,7 +29,7 @@ def test_seed_robustness(benchmark, settings, emit):
             router = GlobalRouter()
             base_f, dsp_f = [], []
             for seed in SEEDS:
-                p = VivadoLikePlacer(seed=seed).place(netlist, device)
+                p = VivadoLikePlacer(seed=seed, device=device).place(netlist)
                 base_f.append(max_frequency(sta, p, router.route(p)))
                 res = DSPlacer(
                     device, DSPlacerConfig(identification="oracle", seed=seed)

@@ -39,7 +39,7 @@ def test_systolic_extension(benchmark, settings, emit):
     router = GlobalRouter()
 
     def run():
-        base = VivadoLikePlacer(seed=settings.seed).place(netlist, device)
+        base = VivadoLikePlacer(seed=settings.seed, device=device).place(netlist)
         f_base = max_frequency(sta, base, router.route(base))
         res = DSPlacer(
             device, DSPlacerConfig(identification="heuristic", seed=settings.seed)

@@ -35,8 +35,8 @@ def main() -> None:
     )
 
     flows = {
-        "vivado": lambda: VivadoLikePlacer(seed=0).place(netlist, device),
-        "amf": lambda: AMFLikePlacer(seed=0).place(netlist, device),
+        "vivado": lambda: VivadoLikePlacer(seed=0, device=device).place(netlist),
+        "amf": lambda: AMFLikePlacer(seed=0, device=device).place(netlist),
         "dsplacer": lambda: DSPlacer(
             device, DSPlacerConfig(identification="heuristic", seed=0)
         ).place(netlist).placement,

@@ -28,7 +28,7 @@ def main() -> None:
     sta = StaticTimingAnalyzer(netlist)
 
     # --- baseline ----------------------------------------------------
-    baseline = VivadoLikePlacer(seed=0).place(netlist, device)
+    baseline = VivadoLikePlacer(seed=0, device=device).place(netlist)
     base_route = router.route(baseline)
     base_fmax = max_frequency(sta, baseline, base_route)
 

@@ -44,7 +44,7 @@ def main() -> None:
     sta = StaticTimingAnalyzer(netlist)
     router = GlobalRouter()
 
-    base = VivadoLikePlacer(seed=0).place(netlist, device)
+    base = VivadoLikePlacer(seed=0, device=device).place(netlist)
     f_base = max_frequency(sta, base, router.route(base))
 
     result = DSPlacer(device, DSPlacerConfig(identification="heuristic", seed=0)).place(netlist)

@@ -3,10 +3,23 @@
 ```
 python -m repro generate --suite skynet --scale 0.1 -o skynet.json
 python -m repro place    --suite skrskr1 --scale 0.1 --tool dsplacer
-python -m repro place    --suite skynet --scale 0.05 --tool dsplacer --json
+python -m repro place    --suite skynet --scale 0.05 --race-k 3 --json
 python -m repro report   --suite skynet --scale 0.1 --tool vivado --paths 5
+python -m repro serve submit --suite skynet --suite skynet --scale 0.05 --workers 2
+python -m repro bench -- --update --output BENCH_hotpaths.json
 python -m repro experiment table1
 ```
+
+``place`` and ``serve submit`` share one request vocabulary
+(:func:`add_request_arguments` → :meth:`PlacementRequest.from_args`), so a
+flag accepted by one is accepted by the other. ``place --race-k 3`` runs a
+seed portfolio through the serve worker pool and keeps the best placement;
+``serve submit`` accepts ``--suite`` repeatedly to queue several jobs on
+one server (duplicates are answered from the result cache).
+
+Bare flags without a subcommand (``python -m repro --suite ...``) still
+work for one release via a deprecation shim that rewrites them to
+``place``; use the subcommand form.
 
 ``place``/``report`` accept the observability flags: ``--json`` writes a
 schema-valid :class:`~repro.obs.RunReport` document to stdout (everything
@@ -25,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from contextlib import nullcontext
 
@@ -35,7 +49,12 @@ from repro.errors import ConfigurationError, ReproError
 from repro.fpga import scaled_zcu104
 from repro.netlist import save_netlist
 from repro.obs import RunReport, render_trace, trace
-from repro.placers.api import PLACER_NAMES, get_placer
+from repro.placers.api import (
+    PLACER_NAMES,
+    RACE_POLICIES,
+    PlacementRequest,
+    get_placer,
+)
 from repro.router import GlobalRouter
 from repro.timing import StaticTimingAnalyzer, format_timing_report, max_frequency
 
@@ -81,10 +100,46 @@ class ReportEmitter:
             print(report.to_json())
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--suite", default="skynet", choices=SUITE_NAMES)
+def _add_common(p: argparse.ArgumentParser, *, multi_suite: bool = False) -> None:
+    if multi_suite:
+        p.add_argument(
+            "--suite",
+            action="append",
+            choices=SUITE_NAMES,
+            help="benchmark suite; repeat to queue several jobs (default skynet)",
+        )
+    else:
+        p.add_argument("--suite", default="skynet", choices=SUITE_NAMES)
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=0)
+
+
+def add_request_arguments(p: argparse.ArgumentParser, *, multi_suite: bool = False) -> None:
+    """The shared ``place``/``serve submit`` request vocabulary.
+
+    One parser feeding :meth:`PlacementRequest.from_args` for both entry
+    points, so the two surfaces cannot drift apart.
+    """
+    _add_common(p, multi_suite=multi_suite)
+    p.add_argument("--tool", default="dsplacer", choices=PLACER_NAMES)
+    p.add_argument(
+        "--race-k",
+        type=int,
+        default=1,
+        metavar="K",
+        help="portfolio racing: place K seeds concurrently, keep the winner",
+    )
+    p.add_argument(
+        "--race-policy",
+        default="best",
+        choices=RACE_POLICIES,
+        help="'best' waits for all K attempts; 'first' keeps the first success",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed result cache",
+    )
 
 
 def _add_robustness(p: argparse.ArgumentParser) -> None:
@@ -163,34 +218,57 @@ def _dsplacer_config(args: argparse.Namespace) -> DSPlacerConfig:
     return DSPlacerConfig.from_dict(doc)
 
 
+def _race_placement(request: PlacementRequest, netlist, device, emitter: ReportEmitter):
+    """Run a ``--race-k`` portfolio through the serve worker pool."""
+    from repro.serve import PlacementServer
+
+    with PlacementServer(workers=min(request.race_k, 4)) as server:
+        response = server.submit(request, netlist=netlist, device=device).result()
+    response.raise_for_status()
+    race = (response.report or {}).get("job", {}).get("race") or {}
+    emitter.info(
+        f"race: k={request.race_k} policy={request.race_policy} "
+        f"winner seed={response.seed_used} cancelled={race.get('cancelled', 0)}"
+    )
+    health = (response.report or {}).get("health")
+    job_doc = (response.report or {}).get("job")
+    return response.placement, health, job_doc
+
+
 def _place(args) -> int:
     emitter = ReportEmitter(args)
     device = scaled_zcu104(args.scale)
     netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
     emitter.info(f"{netlist.stats(device.n_dsp)}")
     config = _dsplacer_config(args)
-    placer = get_placer(args.tool, device, seed=args.seed, config=config)
+    request = PlacementRequest.from_args(args, config=config.to_dict())
 
+    health = None
+    job_doc = None
     ob_ctx = obs.observe() if emitter.observing else nullcontext(None)
     with ob_ctx as ob:
-        with trace.span("run", tool=args.tool, suite=args.suite, scale=args.scale):
-            placement = placer.place(netlist)
+        with trace.span("run", tool=request.tool, suite=args.suite, scale=args.scale):
+            if request.race_k > 1:
+                placement, health, job_doc = _race_placement(
+                    request, netlist, device, emitter
+                )
+            else:
+                placer = get_placer(request.tool, device, seed=args.seed, config=config)
+                placement = placer.place(netlist)
+                if request.tool == "dsplacer":
+                    result = placer.last_result
+                    emitter.info(
+                        f"datapath DSPs: {result.n_datapath_dsps} "
+                        f"(identification acc {result.identification.accuracy:.0%})"
+                    )
+                    emitter.info(result.health.summary())
+                    health = result.health.to_dict()
             route = GlobalRouter().route(placement)
             sta = StaticTimingAnalyzer(netlist)
             fmax = max_frequency(sta, placement, route)
             rep = sta.analyze(placement, route)
-
-    health = None
-    if args.tool == "dsplacer":
-        result = placer.last_result
-        emitter.info(
-            f"datapath DSPs: {result.n_datapath_dsps} "
-            f"(identification acc {result.identification.accuracy:.0%})"
-        )
-        emitter.info(result.health.summary())
-        health = result.health.to_dict()
     emitter.result(
-        f"tool={args.tool} suite={args.suite} scale={args.scale} "
+        f"tool={request.tool} suite={args.suite} scale={args.scale} "
         f"legal={placement.is_legal()} hpwl={placement.hpwl():.4g} "
         f"routed_wl={route.total_wirelength:.4g} wns={rep.wns_ns:+.3f} "
         f"tns={rep.tns_ns:+.1f} fmax={fmax:.0f}MHz"
@@ -205,7 +283,7 @@ def _place(args) -> int:
         report = RunReport.from_observation(
             ob,
             meta={
-                "tool": args.tool,
+                "tool": request.tool,
                 "suite": args.suite,
                 "scale": args.scale,
                 "seed": args.seed,
@@ -221,6 +299,7 @@ def _place(args) -> int:
                 "fmax_mhz": float(fmax),
             },
         )
+        report.job = job_doc
         emitter.emit(report)
     if getattr(args, "svg", None):
         from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
@@ -272,6 +351,58 @@ def _experiment(args) -> int:
     return 1
 
 
+def _serve_submit(args) -> int:
+    from repro.serve import PlacementServer
+
+    emitter = ReportEmitter(args)
+    config = _dsplacer_config(args)
+    suites = args.suite or ["skynet"]
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+
+    docs: list[dict] = []
+    n_failed = 0
+    with PlacementServer(workers=args.workers) as server:
+        jobs = []
+        for suite in suites:
+            args.suite = suite
+            jobs.append(
+                server.submit(PlacementRequest.from_args(args, config=config.to_dict()))
+            )
+        for job in jobs:
+            resp = job.result()
+            docs.append(resp.to_dict())
+            n_failed += resp.status != "ok"
+            quality = resp.quality or {}
+            hpwl = quality.get("hpwl_um")
+            emitter.result(
+                f"{resp.job_id} suite={resp.request.suite} status={resp.status} "
+                f"cache={resp.cache} seed={resp.seed_used} "
+                f"legal={quality.get('legal')} "
+                f"hpwl={'n/a' if hpwl is None else format(hpwl, '.4g')} "
+                f"wall={resp.wall_s:.3f}s"
+            )
+            if args.report_dir and resp.report is not None:
+                path = os.path.join(args.report_dir, f"{resp.job_id}.json")
+                with open(path, "w") as fh:
+                    json.dump(resp.report, fh, indent=2)
+                emitter.info(f"report: {path}")
+        stats = server.cache.stats()
+    emitter.info(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es)")
+    if emitter.json_out:
+        print(json.dumps({"jobs": docs, "cache": stats}, indent=2))
+    return 1 if n_failed else 0
+
+
+def _bench(args) -> int:
+    from repro.obs.bench import _main as bench_main
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    return bench_main(rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -283,20 +414,46 @@ def build_parser() -> argparse.ArgumentParser:
     g.set_defaults(func=_generate)
 
     p = sub.add_parser("place", help="place a suite and report PPA")
-    _add_common(p)
+    add_request_arguments(p)
     _add_robustness(p)
     _add_output(p)
-    p.add_argument("--tool", default="dsplacer", choices=PLACER_NAMES)
     p.add_argument("--svg", default=None, help="write a layout SVG")
     p.set_defaults(func=_place, paths=0)
 
     r = sub.add_parser("report", help="place and print a timing report")
-    _add_common(r)
+    add_request_arguments(r)
     _add_robustness(r)
     _add_output(r)
-    r.add_argument("--tool", default="vivado", choices=PLACER_NAMES)
     r.add_argument("--paths", type=int, default=5)
-    r.set_defaults(func=_place, svg=None)
+    r.set_defaults(func=_place, svg=None, tool="vivado")
+
+    s = sub.add_parser("serve", help="placement-as-a-service job orchestration")
+    serve_sub = s.add_subparsers(dest="serve_command", required=True)
+    ss = serve_sub.add_parser(
+        "submit", help="submit placement jobs to a worker pool and wait"
+    )
+    add_request_arguments(ss, multi_suite=True)
+    _add_robustness(ss)
+    _add_output(ss)
+    ss.add_argument(
+        "--with-timing",
+        action="store_true",
+        help="also route and run STA inside each worker",
+    )
+    ss.add_argument("--workers", type=int, default=2, help="concurrent worker processes")
+    ss.add_argument(
+        "--report-dir",
+        default=None,
+        metavar="DIR",
+        help="write each job's schema-v2 RunReport JSON into DIR",
+    )
+    ss.set_defaults(func=_serve_submit)
+
+    b = sub.add_parser(
+        "bench", help="hot-path benchmark gate (passthrough to repro.obs.bench)"
+    )
+    b.add_argument("rest", nargs=argparse.REMAINDER)
+    b.set_defaults(func=_bench)
 
     e = sub.add_parser("experiment", help="run a named experiment")
     e.add_argument("which", choices=("table1", "table2", "fig7", "fig8", "fig9"))
@@ -305,6 +462,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        # one-release deprecation shim: `python -m repro --suite ...`
+        print(
+            "warning: flags without a subcommand are deprecated and will stop "
+            "working next release; use 'python -m repro place ...'",
+            file=sys.stderr,
+        )
+        argv = ["place", *argv]
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

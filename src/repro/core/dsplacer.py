@@ -32,8 +32,11 @@ Example:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import dataclass, field, fields
+from typing import get_type_hints
 
 import numpy as np
 
@@ -115,8 +118,39 @@ class DSPlacerConfig:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-dict view of every knob; round-trips via :meth:`from_dict`."""
-        return asdict(self)
+        """Canonical plain-dict view of every knob.
+
+        Canonical means: **every** field present (defaults filled), keys
+        sorted, and values coerced to the field's declared type — so
+        ``from_dict({"lam": 100})`` (an int) and the default ``lam=100.0``
+        serialize identically. The serve result cache hashes this form
+        (:meth:`content_hash`); equivalent configs must collide there.
+        Round-trips via :meth:`from_dict`.
+        """
+        hints = get_type_hints(type(self))
+        doc: dict = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            t = hints.get(f.name)
+            if v is not None:
+                if t is bool:
+                    v = bool(v)
+                elif t is int:
+                    v = int(v)
+                elif t is float or t == float | None:
+                    v = float(v)
+                elif t is str:
+                    v = str(v)
+            doc[f.name] = v
+        return dict(sorted(doc.items()))
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of :meth:`to_dict` (sorted keys, no spaces)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the cache-key config part."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, doc: dict) -> "DSPlacerConfig":
@@ -234,6 +268,7 @@ class DSPlacer:
     ) -> None:
         self.device = device
         self.config = config or DSPlacerConfig()
+        self._cancel_requested = False
         self.identifier = identifier or DatapathIdentifier(
             method=self.config.identification, seed=self.config.seed
         )
@@ -257,6 +292,16 @@ class DSPlacer:
         from repro.placers.api import DSPlacerAdapter
 
         return DSPlacerAdapter(self)
+
+    def request_cancel(self) -> None:
+        """Ask the in-flight (or next) :meth:`place` to stop early.
+
+        Cooperative, like the stage budgets: the flow checks the flag at
+        each outer-iteration boundary, keeps the best-so-far legal
+        placement, records a ``cancelled`` health event and returns. The
+        flag is consumed by the run that honours it.
+        """
+        self._cancel_requested = True
 
     # ------------------------------------------------------------------
     def place(
@@ -412,6 +457,18 @@ class DSPlacer:
 
             sta = StaticTimingAnalyzer(netlist)
         for outer in range(1, cfg.outer_iterations + 1):
+            if self._cancel_requested:
+                self._cancel_requested = False
+                health.record(
+                    "pipeline",
+                    "cancelled",
+                    f"cancellation requested before outer iteration {outer}; "
+                    "keeping best-so-far placement",
+                )
+                health.degraded = True
+                if best is not None:
+                    placement = best.copy()
+                break
             budget_hit = False
             with trace.span("place.outer", i=outer):
                 try:

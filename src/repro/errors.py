@@ -25,6 +25,13 @@ so callers can catch one root type and the resilience layer
   budget.
 - :class:`ReportSchemaError` — a RunReport document does not conform to the
   versioned schema (:mod:`repro.obs.report`).
+- :class:`ServeError` — the placement service (:mod:`repro.serve`) could not
+  run or complete a job.
+
+  - :class:`WorkerCrashError` — a placement worker process died without
+    reporting a result (hard crash, OOM kill, ``os._exit``).
+  - :class:`JobCancelledError` — the job (or a race attempt) was cancelled
+    before producing a placement.
 
 Several classes also inherit from the builtin exception they historically
 were (``ValueError`` / ``RuntimeError`` / ``TimeoutError``) so that code and
@@ -44,6 +51,9 @@ __all__ = [
     "LegalizationError",
     "StageBudgetExceeded",
     "ReportSchemaError",
+    "ServeError",
+    "WorkerCrashError",
+    "JobCancelledError",
 ]
 
 
@@ -90,6 +100,28 @@ class LegalizationError(ReproError, ValueError):
 
 class ReportSchemaError(ReproError, ValueError):
     """A RunReport document violates the versioned report schema."""
+
+
+class ServeError(ReproError):
+    """The placement service could not run or complete a job."""
+
+
+class WorkerCrashError(ServeError, RuntimeError):
+    """A placement worker process died without reporting a result.
+
+    Carries the process exit code when one is known; the serve layer marks
+    the owning job attempt failed (never hung) and records the crash in the
+    job's :class:`~repro.robustness.RunHealth`.
+    """
+
+    def __init__(self, detail: str, exitcode: int | None = None) -> None:
+        self.exitcode = exitcode
+        suffix = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"{detail}{suffix}")
+
+
+class JobCancelledError(ServeError):
+    """The job (or one of its race attempts) was cancelled."""
 
 
 class StageBudgetExceeded(ReproError, TimeoutError):

@@ -30,6 +30,7 @@ SECTIONS = {
     "seed_robustness": ("Robustness — seed sensitivity", "—"),
     "router_models": ("Infrastructure — router model agreement", "—"),
     "bench_hotpaths": ("Infrastructure — hot-path timings", "—"),
+    "bench_serve": ("Infrastructure — serve throughput", "—"),
 }
 
 

@@ -62,6 +62,12 @@ GATED_STAGES = (
     "extraction.dsp_graph",
 )
 
+#: the five Table I suites the serve-throughput benchmark sweeps
+SERVE_SUITES = ("ismartdnn", "skynet", "skrskr1", "skrskr2", "skrskr3")
+
+#: the single stage gated for the serving benchmark
+SERVE_GATED_STAGES = ("serve.throughput",)
+
 
 def workload_id(suite: str, scale: float) -> str:
     return f"{suite}@{scale:g}"
@@ -135,6 +141,61 @@ def run_hotpaths(
     }
 
 
+def run_serve_throughput(
+    suites: tuple[str, ...] = SERVE_SUITES,
+    scale: float = 0.05,
+    workers: int = 2,
+    seed: int = 0,
+    config: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Measure sustained placements/minute through the serve worker pool.
+
+    Submits one cold job per suite (cache off — throughput means *placing*,
+    not replaying) to a :class:`~repro.serve.PlacementServer` and times the
+    whole batch under a ``serve.throughput`` span: submission, netlist
+    materialization, worker scheduling, placement, result assembly. The
+    gate gates end-to-end serving capacity, not any single placement.
+    """
+    from repro.placers.api import PlacementRequest
+    from repro.serve import PlacementServer
+
+    config = dict(config) if config is not None else {"outer_iterations": 1}
+    with obs.observe() as ob:
+        with obs.trace.span("serve.throughput", workers=workers, n_jobs=len(suites)):
+            with PlacementServer(workers=workers) as server:
+                jobs = [
+                    server.submit(
+                        PlacementRequest(
+                            suite=suite,
+                            scale=scale,
+                            seed=seed,
+                            config=config,
+                            use_cache=False,
+                        )
+                    )
+                    for suite in suites
+                ]
+                responses = [job.result() for job in jobs]
+
+    n_ok = sum(r.ok for r in responses)
+    agg = aggregate_spans(ob.tracer.to_dicts())
+    wall_s = agg["serve.throughput"]["wall_s"]
+    return {
+        "kind": BENCH_KIND,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": f"serve@{scale:g}",
+        "suites": list(suites),
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "config": config,
+        "n_jobs": len(suites),
+        "n_ok": n_ok,
+        "placements_per_minute": 60.0 * n_ok / wall_s if wall_s > 0 else 0.0,
+        "stages": {"serve.throughput": agg["serve.throughput"]},
+    }
+
+
 #: absolute slack added on top of the relative band — a 25% band on a
 #: millisecond-scale stage would gate pure scheduler jitter
 ABS_SLACK_S = 0.005
@@ -205,7 +266,12 @@ def _main(argv: list[str] | None = None) -> int:
         description="run the hot-path benchmark and gate against a baseline",
     )
     parser.add_argument("--suite", default="skynet")
-    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default 0.25 for hot paths, 0.05 for --serve)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--iterations", type=int, default=12)
     parser.add_argument("--features-scale", type=float, default=0.01)
@@ -222,15 +288,32 @@ def _main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline with this run instead of gating against it",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the serve-throughput benchmark (five Table I suites through "
+        "the worker pool) instead of the hot-path kernels",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker pool size for --serve"
+    )
     args = parser.parse_args(argv)
 
-    doc = run_hotpaths(
-        suite=args.suite,
-        scale=args.scale,
-        seed=args.seed,
-        max_iterations=args.iterations,
-        features_scale=args.features_scale,
-    )
+    if args.scale is None:
+        args.scale = 0.05 if args.serve else 0.25
+    if args.serve:
+        doc = run_serve_throughput(scale=args.scale, workers=args.workers, seed=args.seed)
+        gated = SERVE_GATED_STAGES
+        print(f"placements/minute: {doc['placements_per_minute']:.2f} ({doc['n_ok']}/{doc['n_jobs']} ok)")
+    else:
+        doc = run_hotpaths(
+            suite=args.suite,
+            scale=args.scale,
+            seed=args.seed,
+            max_iterations=args.iterations,
+            features_scale=args.features_scale,
+        )
+        gated = GATED_STAGES
     print(json.dumps(doc["stages"], indent=2, sort_keys=True))
     if args.out:
         pathlib.Path(args.out).parent.mkdir(parents=True, exist_ok=True)
@@ -246,7 +329,9 @@ def _main(argv: list[str] | None = None) -> int:
     if not path.exists():
         print(f"baseline {path} not found")
         return 1
-    problems = compare(doc, json.loads(path.read_text()), threshold=args.fail_threshold)
+    problems = compare(
+        doc, json.loads(path.read_text()), threshold=args.fail_threshold, stages=gated
+    )
     for p in problems:
         print(f"REGRESSION: {p}")
     if not problems:

@@ -7,14 +7,23 @@ harness, CI, dashboards) can parse without knowing pipeline internals:
 ```
 {
   "kind": "repro.run_report",
-  "schema_version": 1,
+  "schema_version": 2,
   "meta":    {"tool": "dsplacer", "suite": "skynet", ...},
   "spans":   [{"name": "place", "wall_s": ..., "cpu_s": ..., "children": [...]}],
   "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
   "health":  {"degraded": false, "events": [{"stage","kind","detail"}]},
-  "quality": {"legal": true, "hpwl_um": ..., ...}
+  "quality": {"legal": true, "hpwl_um": ..., ...},
+  "job":     {"id": "...", "submitted_unix": ..., "started_unix": ...,
+              "finished_unix": ..., "cache": "hit|miss|bypass",
+              "race": {"k": 3, "policy": "best", "winner_seed": 1,
+                       "attempts": [...], "cancelled": 0}}
 }
 ```
+
+Schema v2 (this release) adds the optional ``job`` section the serve layer
+(:mod:`repro.serve`) stamps on every response: job identity, queue
+timestamps, the cache verdict, and the portfolio-race outcome. v1 documents
+(no ``job``) remain valid; a ``job`` section requires ``schema_version >= 2``.
 
 :func:`validate_report` is the schema checker (no external jsonschema
 dependency); ``python -m repro.obs.report FILE...`` validates saved reports
@@ -33,14 +42,18 @@ from repro.errors import ReportSchemaError
 __all__ = [
     "SCHEMA_VERSION",
     "REPORT_KIND",
+    "JOB_CACHE_STATES",
     "RunReport",
     "validate_report",
     "aggregate_spans",
     "render_trace",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 REPORT_KIND = "repro.run_report"
+
+#: cache verdicts a ``job`` section may carry
+JOB_CACHE_STATES = ("hit", "miss", "bypass")
 
 _EMPTY_METRICS = lambda: {"counters": {}, "gauges": {}, "histograms": {}}  # noqa: E731
 _EMPTY_HEALTH = lambda: {"degraded": False, "events": []}  # noqa: E731
@@ -55,6 +68,8 @@ class RunReport:
     metrics: dict[str, Any] = field(default_factory=_EMPTY_METRICS)
     health: dict[str, Any] = field(default_factory=_EMPTY_HEALTH)
     quality: dict[str, Any] = field(default_factory=dict)
+    #: serve-layer job identity/timestamps/cache/race (schema v2; optional)
+    job: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ---------------------------------------------------
@@ -85,18 +100,20 @@ class RunReport:
                     f"invalid RunReport ({len(problems)} problem(s)):\n"
                     + "\n".join(f"  - {p}" for p in problems)
                 )
+        job = doc.get("job")
         return cls(
             meta=dict(doc.get("meta", {})),
             spans=list(doc.get("spans", [])),
             metrics=dict(doc.get("metrics", _EMPTY_METRICS())),
             health=dict(doc.get("health", _EMPTY_HEALTH())),
             quality=dict(doc.get("quality", {})),
+            job=dict(job) if job is not None else None,
             schema_version=int(doc.get("schema_version", SCHEMA_VERSION)),
         )
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "kind": REPORT_KIND,
             "schema_version": self.schema_version,
             "meta": self.meta,
@@ -105,6 +122,9 @@ class RunReport:
             "health": self.health,
             "quality": self.quality,
         }
+        if self.job is not None:
+            doc["job"] = self.job
+        return doc
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -171,6 +191,45 @@ def _check_span(sp: Any, path: str, problems: list[str], depth: int = 0) -> None
         _check_span(child, f"{path}.children[{i}]", problems, depth + 1)
 
 
+def _check_job(job: Any, version: Any, problems: list[str]) -> None:
+    """Validate the schema-v2 ``job`` section (optional; serve-layer runs)."""
+    if not isinstance(job, dict):
+        problems.append(f"job must be an object, got {type(job).__name__}")
+        return
+    if isinstance(version, int) and version < 2:
+        problems.append("job section requires schema_version >= 2")
+    if not isinstance(job.get("id"), str) or not job.get("id"):
+        problems.append("job.id must be a non-empty string")
+    cache = job.get("cache")
+    if cache not in JOB_CACHE_STATES:
+        problems.append(f"job.cache must be one of {JOB_CACHE_STATES}, got {cache!r}")
+    for key in ("submitted_unix", "started_unix", "finished_unix"):
+        v = job.get(key)
+        if v is not None and not _is_num(v):
+            problems.append(f"job.{key} must be a number or null")
+    race = job.get("race")
+    if race is None:
+        return
+    if not isinstance(race, dict):
+        problems.append("job.race must be an object")
+        return
+    k = race.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        problems.append("job.race.k must be a positive integer")
+    if not isinstance(race.get("policy"), str):
+        problems.append("job.race.policy must be a string")
+    attempts = race.get("attempts", [])
+    if not isinstance(attempts, list):
+        problems.append("job.race.attempts must be a list")
+    else:
+        for i, a in enumerate(attempts):
+            if not isinstance(a, dict) or not isinstance(a.get("status"), str):
+                problems.append(f"job.race.attempts[{i}] needs a string 'status'")
+    cancelled = race.get("cancelled", 0)
+    if not isinstance(cancelled, int) or isinstance(cancelled, bool) or cancelled < 0:
+        problems.append("job.race.cancelled must be a non-negative integer")
+
+
 def validate_report(doc: Any) -> list[str]:
     """Check a report document against the schema; returns problems found."""
     problems: list[str] = []
@@ -234,6 +293,9 @@ def validate_report(doc: Any) -> list[str]:
                     problems.append(
                         f"health.events[{i}] needs string stage/kind/detail"
                     )
+
+    if "job" in doc:
+        _check_job(doc["job"], version, problems)
     return problems
 
 

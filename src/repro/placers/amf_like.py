@@ -26,7 +26,7 @@ from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.detailed import refine_sites
 from repro.placers.legalizer import Legalizer
 from repro.placers.placement import Placement
-from repro.placers.vivado_like import resolve_device
+from repro.placers.vivado_like import bound_device
 
 
 class AMFLikePlacer:
@@ -49,18 +49,26 @@ class AMFLikePlacer:
         # density targets assume that larger part
         self.fabric_scale = fabric_scale
         self.device = device
+        self._cancel_requested = False
+
+    def cancel(self) -> None:
+        """Cooperative cancel: the single-pass flow completes its pass.
+
+        Present for :class:`~repro.placers.api.Placer` conformance; the
+        serve layer cancels baseline attempts by terminating the worker.
+        """
+        self._cancel_requested = True
 
     def place(
         self,
         netlist: Netlist,
-        device: Device | None = None,
         placement: Placement | None = None,
         movable_mask: np.ndarray | None = None,
         *,
         seed: int | None = None,
     ) -> Placement:
         """Full placement of all movable cells; returns a legal placement."""
-        device = resolve_device(self, device)
+        device = bound_device(self)
         run_seed = self.seed if seed is None else seed
         with trace.span("placer.amf"):
             engine = QuadraticGlobalPlacer(

@@ -9,8 +9,6 @@ macros land wherever wirelength pulls them.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -23,27 +21,20 @@ from repro.placers.legalizer import Legalizer
 from repro.placers.placement import Placement
 
 
-def resolve_device(placer, device: Device | None) -> Device:
-    """Shared legacy-signature shim for the baseline placers.
+def bound_device(placer) -> Device:
+    """The device a baseline placer is bound to.
 
-    The unified :class:`~repro.placers.api.Placer` protocol binds the device
-    at construction; passing it to ``place()`` still works but is
-    deprecated.
+    The unified :class:`~repro.placers.api.Placer` protocol binds the
+    device at construction; the legacy ``place(netlist, device)`` shim was
+    removed after its deprecation release — construct through
+    :func:`~repro.placers.api.get_placer` (or pass ``device=`` to the
+    constructor) instead.
     """
-    if device is not None:
-        if placer.device is None:
-            warnings.warn(
-                f"passing `device` to {type(placer).__name__}.place() is "
-                f"deprecated; bind it at construction "
-                f"({type(placer).__name__}(device=dev)) and call place(netlist)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        return device
     if placer.device is None:
         raise ConfigurationError(
             f"{type(placer).__name__} has no device: construct with "
-            f"{type(placer).__name__}(device=dev) or pass one to place()"
+            f"{type(placer).__name__}(device=dev) — or use "
+            f"get_placer({placer.name!r}, dev)"
         )
     return placer.device
 
@@ -81,18 +72,26 @@ class VivadoLikePlacer:
         self.td_boost = td_boost
         self.pack_ble = pack_ble
         self.device = device
+        self._cancel_requested = False
+
+    def cancel(self) -> None:
+        """Cooperative cancel: stop before the next timing-driven round.
+
+        The wirelength-only flow is a single pass and simply completes; the
+        timing-driven loop checks the flag between re-placement rounds.
+        """
+        self._cancel_requested = True
 
     def place(
         self,
         netlist: Netlist,
-        device: Device | None = None,
         placement: Placement | None = None,
         movable_mask: np.ndarray | None = None,
         *,
         seed: int | None = None,
     ) -> Placement:
         """Full placement of all movable cells; returns a legal placement."""
-        device = resolve_device(self, device)
+        device = bound_device(self)
         run_seed = self.seed if seed is None else seed
         with trace.span("placer.vivado", timing_driven=self.timing_driven):
             place = self._one_pass(netlist, device, placement, movable_mask, run_seed)
@@ -105,6 +104,9 @@ class VivadoLikePlacer:
             original = [net.weight for net in netlist.nets]
             try:
                 for _ in range(self.td_rounds):
+                    if self._cancel_requested:
+                        self._cancel_requested = False
+                        break
                     report = sta.analyze(place, period_ns=period, with_slacks=True)
                     slack = report.cell_output_slack
                     for net, w0 in zip(netlist.nets, original):

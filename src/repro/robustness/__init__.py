@@ -12,6 +12,7 @@ Three cooperating pieces (see ``docs/ROBUSTNESS.md``):
 """
 
 from repro.robustness.faults import (
+    CRASH_EXIT_CODE,
     EVERY_CALL,
     FaultInjector,
     active_injector,
@@ -29,6 +30,7 @@ __all__ = [
     "RECOVERABLE",
     "FaultInjector",
     "EVERY_CALL",
+    "CRASH_EXIT_CODE",
     "inject",
     "maybe_fault",
     "active_injector",

@@ -14,6 +14,13 @@ Instrumented stage names:
 - ``legalization.ilp`` / ``legalization.greedy`` — one inter-column attempt;
 - ``incremental`` — one other-component re-place (outer iteration);
 - ``prototype`` — the initial base-placer run.
+
+Scripted faults also serialize (:meth:`FaultInjector.to_specs` /
+:meth:`FaultInjector.from_specs`) so the serve layer can ship a fault
+script across a process boundary and replay it *inside* a placement worker
+— that is how the chaos suite proves worker-side fallbacks and crash
+handling. The ``crash`` kind hard-kills the process via ``os._exit`` (no
+exception, no cleanup), modelling an OOM kill or segfault.
 """
 
 from __future__ import annotations
@@ -24,10 +31,14 @@ from typing import Iterator
 
 from repro.errors import SolverConvergenceError
 
-__all__ = ["FaultInjector", "inject", "maybe_fault", "active_injector"]
+__all__ = ["FaultInjector", "inject", "maybe_fault", "active_injector", "CRASH_EXIT_CODE"]
 
 #: matches every call of a stage when used as the ``call`` argument
 EVERY_CALL = 0
+
+
+#: default exit code of a ``crash`` fault (chosen to be distinctive)
+CRASH_EXIT_CODE = 66
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,7 @@ class _Fault:
     call: int  # 1-based Nth call; EVERY_CALL matches all
     exc: Exception | None
     stall_s: float
+    crash_code: int | None = None  # os._exit code; None = no crash
 
 
 @dataclass
@@ -66,6 +78,60 @@ class FaultInjector:
         self._faults.append(_Fault(stage=stage, call=call, exc=None, stall_s=seconds))
         return self
 
+    def crash_on(
+        self, stage: str, call: int = 1, exitcode: int = CRASH_EXIT_CODE
+    ) -> "FaultInjector":
+        """Hard-kill the process (``os._exit``) on ``stage``'s Nth call.
+
+        Models a worker dying without a traceback — the serve layer must
+        turn this into a failed job, not a hang. Never use outside a
+        sacrificial subprocess.
+        """
+        self._faults.append(
+            _Fault(stage=stage, call=call, exc=None, stall_s=0.0, crash_code=exitcode)
+        )
+        return self
+
+    # -- serialization (for shipping scripts into worker processes) -----
+    def to_specs(self) -> list[dict]:
+        """Plain-dict view of the scripted faults (JSON/pickle friendly).
+
+        A ``fail`` spec always reconstructs as the default
+        :class:`~repro.errors.SolverConvergenceError` — custom exception
+        objects do not survive the round trip.
+        """
+        specs: list[dict] = []
+        for f in self._faults:
+            if f.crash_code is not None:
+                specs.append(
+                    {"stage": f.stage, "call": f.call, "kind": "crash", "exitcode": f.crash_code}
+                )
+            elif f.exc is not None:
+                specs.append({"stage": f.stage, "call": f.call, "kind": "fail"})
+            else:
+                specs.append(
+                    {"stage": f.stage, "call": f.call, "kind": "stall", "seconds": f.stall_s}
+                )
+        return specs
+
+    @classmethod
+    def from_specs(cls, specs: "list[dict] | tuple[dict, ...]") -> "FaultInjector":
+        """Rebuild an injector from :meth:`to_specs` output."""
+        inj = cls()
+        for spec in specs:
+            kind = spec.get("kind", "fail")
+            stage = spec["stage"]
+            call = int(spec.get("call", 1))
+            if kind == "fail":
+                inj.fail_on(stage, call=call)
+            elif kind == "stall":
+                inj.stall_on(stage, call=call, seconds=float(spec.get("seconds", 0.05)))
+            elif kind == "crash":
+                inj.crash_on(stage, call=call, exitcode=int(spec.get("exitcode", CRASH_EXIT_CODE)))
+            else:
+                raise ValueError(f"unknown fault spec kind {kind!r}")
+        return inj
+
     # -- runtime --------------------------------------------------------
     def fire(self, stage: str) -> None:
         """Count one call of ``stage`` and apply any matching fault."""
@@ -75,6 +141,10 @@ class FaultInjector:
             if fault.stage != stage or fault.call not in (EVERY_CALL, n):
                 continue
             self._fired.append((stage, n))
+            if fault.crash_code is not None:
+                import os
+
+                os._exit(fault.crash_code)
             if fault.stall_s > 0:
                 import time
 

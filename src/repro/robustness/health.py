@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Incident kinds, in roughly increasing severity.
-KINDS = ("warning", "retry", "fallback", "budget", "failure", "rollback")
+KINDS = ("warning", "retry", "fallback", "budget", "cancelled", "failure", "rollback")
 
 
 @dataclass(frozen=True)

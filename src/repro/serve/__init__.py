@@ -1,0 +1,32 @@
+"""Placement-as-a-service: jobs, workers, racing, and the result cache.
+
+Public surface::
+
+    from repro.serve import PlacementServer
+    from repro.placers.api import PlacementRequest
+
+    with PlacementServer(workers=4) as server:
+        job = server.submit(PlacementRequest(suite="skynet", scale=0.05))
+        response = job.result(timeout=300).raise_for_status()
+
+See ``docs/SERVING.md`` for the architecture and the cache-key contract.
+"""
+
+from repro.serve.cache import (
+    CacheEntry,
+    ResultCache,
+    cache_key,
+    device_id,
+    netlist_content_hash,
+)
+from repro.serve.server import Job, PlacementServer
+
+__all__ = [
+    "PlacementServer",
+    "Job",
+    "ResultCache",
+    "CacheEntry",
+    "cache_key",
+    "device_id",
+    "netlist_content_hash",
+]

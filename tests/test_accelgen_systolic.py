@@ -77,7 +77,7 @@ class TestSystolicFlow:
         from repro.timing import StaticTimingAnalyzer
 
         _, nl = systolic
-        p = VivadoLikePlacer(seed=0).place(nl, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(nl)
         sta = StaticTimingAnalyzer(nl)
         assert not sta.has_comb_cycles
         rep = sta.analyze(p)

@@ -129,3 +129,83 @@ class TestConfigFile:
         rc = main(PLACE_SMALL + ["--config", "/nonexistent/cfg.json"])
         assert rc == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+SERVE_SMALL = [
+    "serve", "submit", "--suite", "ismartdnn", "--scale", "0.02", "--workers", "2",
+]
+
+
+class TestServeSubcommand:
+    def test_submit_runs_and_reports(self, tmp_path, capsys):
+        report_dir = tmp_path / "reports"
+        rc = main(SERVE_SMALL + ["--report-dir", str(report_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job-0001" in out and "status=ok" in out and "cache=miss" in out
+        reports = list(report_dir.glob("*.json"))
+        assert len(reports) == 1
+        doc = json.loads(reports[0].read_text())
+        assert doc["schema_version"] == 2
+        assert validate_report(doc) == []
+        assert doc["job"]["id"] == "job-0001"
+
+    def test_duplicate_suite_hits_cache(self, capsys):
+        rc = main(SERVE_SMALL + ["--suite", "ismartdnn", "--json", "--quiet"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        caches = [j["cache"] for j in doc["jobs"]]
+        assert sorted(caches) == ["hit", "miss"]
+        assert all(j["status"] == "ok" for j in doc["jobs"])
+
+    def test_place_and_serve_share_request_flags(self):
+        place_args = build_parser().parse_args(
+            ["place", "--race-k", "3", "--race-policy", "first", "--no-cache"]
+        )
+        serve_args = build_parser().parse_args(
+            ["serve", "submit", "--race-k", "3", "--race-policy", "first", "--no-cache"]
+        )
+        from repro.placers.api import PlacementRequest
+
+        place_req = PlacementRequest.from_args(place_args)
+        serve_args.suite = serve_args.suite or ["skynet"]
+        serve_args.suite = serve_args.suite[0]
+        serve_req = PlacementRequest.from_args(serve_args)
+        assert place_req == serve_req
+        assert place_req.race_k == 3 and not place_req.use_cache
+
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestPlaceRacing:
+    def test_place_race_k_uses_the_pool(self, capsys):
+        rc = main(PLACE_SMALL + ["--race-k", "2", "--json", "--quiet"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_report(doc) == []
+        assert doc["job"]["race"]["k"] == 2
+        assert doc["quality"]["legal"] is True
+
+
+class TestBenchSubcommand:
+    def test_bench_passthrough_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--", "--help"])
+        assert exc.value.code == 0
+        assert "--update" in capsys.readouterr().out
+
+
+class TestFlatFlagShim:
+    def test_flat_flags_still_place_with_warning(self, capsys):
+        rc = main(["--suite", "ismartdnn", "--scale", "0.02", "--tool", "vivado"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        assert "legal=True" in out
+        assert "deprecated" in err
+
+    def test_subcommand_form_emits_no_warning(self, capsys):
+        rc = main(["place", "--suite", "ismartdnn", "--scale", "0.02", "--tool", "vivado"])
+        assert rc == 0
+        assert "deprecated" not in capsys.readouterr().err

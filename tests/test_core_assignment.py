@@ -135,7 +135,7 @@ class TestOnGeneratedDesign:
         dsps = sorted(dgraph.nodes)
         from repro.placers import VivadoLikePlacer
 
-        place = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        place = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         a = DatapathDSPAssigner(mini_accel, small_dev, dgraph, dsps, AssignmentConfig(max_iterations=6))
         result, _ = a.solve(place.copy())
         assert set(result) == set(dsps)

@@ -10,7 +10,7 @@ from repro.placers import Placement, VivadoLikePlacer
 
 @pytest.fixture(scope="module")
 def placed(mini_accel, small_dev):
-    return VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+    return VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
 
 
 class TestExport:
@@ -65,8 +65,7 @@ class TestRoundTrip:
         seeded = apply_xdc_constraints(xdc, mini_accel, small_dev)
         mask = np.array([not c.is_fixed for c in mini_accel.cells])
         mask[datapath] = False
-        final = VivadoLikePlacer(seed=1).place(
-            mini_accel, small_dev, placement=seeded, movable_mask=mask
+        final = VivadoLikePlacer(seed=1, device=small_dev).place(mini_accel, placement=seeded, movable_mask=mask
         )
         assert final.is_legal()
         assert np.array_equal(final.site[datapath], res.placement.site[datapath])

@@ -58,7 +58,7 @@ class TestDSPlacerFlow:
 
 class TestDSPlacerQuality:
     def test_timing_not_worse_than_baseline(self, result, mini_accel, small_dev):
-        base = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        base = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         sta = StaticTimingAnalyzer(mini_accel)
         router = GlobalRouter(grid=(16, 16))
         wns_base = sta.analyze(base, router.route(base), period_ns=8.0).wns_ns
@@ -73,7 +73,7 @@ class TestDSPlacerQuality:
         assert res.placement.is_legal()
 
     def test_initial_placement_reused(self, mini_accel, small_dev):
-        base = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        base = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         placer = DSPlacer(small_dev, DSPlacerConfig(identification="oracle", mcf_iterations=3))
         res = placer.place(mini_accel, initial_placement=base)
         assert res.phase_seconds["prototype_placement"] < 0.2
@@ -108,7 +108,7 @@ class TestConfigValidation:
 
 class TestIncrementalReplace:
     def test_frozen_dsps_stay(self, mini_accel, small_dev):
-        base = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        base = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         frozen = [c.index for c in mini_accel.cells if c.ctype.is_dsp and c.is_datapath]
         before = base.site[frozen].copy()
         out = replace_other_components(mini_accel, small_dev, base, frozen)

@@ -39,7 +39,7 @@ class TestTables:
 class TestVisualization:
     @pytest.fixture(scope="class")
     def placed(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         paths = iddfs_dsp_paths(mini_accel)
         g = build_dsp_graph(mini_accel, paths)
         flags = {i: bool(mini_accel.cells[i].is_datapath) for i in mini_accel.dsp_indices()}

@@ -28,7 +28,7 @@ def test_full_scale_ismartdnn_flow():
     st = netlist.stats(device.n_dsp)
     assert st.n_dsp == 197 and st.n_lut == 53503
 
-    baseline = VivadoLikePlacer(seed=0).place(netlist, device)
+    baseline = VivadoLikePlacer(seed=0, device=device).place(netlist)
     assert baseline.is_legal()
 
     sta = StaticTimingAnalyzer(netlist)

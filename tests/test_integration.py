@@ -34,8 +34,8 @@ def flows(setup):
     sta = StaticTimingAnalyzer(nl)
     out = {}
     for name, make in (
-        ("vivado", lambda: VivadoLikePlacer(seed=0).place(nl, dev)),
-        ("amf", lambda: AMFLikePlacer(seed=0).place(nl, dev)),
+        ("vivado", lambda: VivadoLikePlacer(seed=0, device=dev).place(nl)),
+        ("amf", lambda: AMFLikePlacer(seed=0, device=dev).place(nl)),
         (
             "dsplacer",
             lambda: DSPlacer(
@@ -105,6 +105,6 @@ class TestIdentificationTransfer:
     def test_serialization_roundtrip_preserves_pipeline(self, setup):
         dev, nl = setup
         back = netlist_from_json(netlist_to_json(nl))
-        p1 = VivadoLikePlacer(seed=5).place(nl, dev)
-        p2 = VivadoLikePlacer(seed=5).place(back, dev)
+        p1 = VivadoLikePlacer(seed=5, device=dev).place(nl)
+        p2 = VivadoLikePlacer(seed=5, device=dev).place(back)
         assert p1.hpwl() == pytest.approx(p2.hpwl())

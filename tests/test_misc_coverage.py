@@ -31,7 +31,7 @@ class TestNoPSDevice:
         for a, b in zip(dsps, dsps[1:]):
             nl.add_net(f"c{a}", a, [b])
         nl.add_macro(dsps)
-        p = VivadoLikePlacer(seed=0).place(nl, no_ps_dev)
+        p = VivadoLikePlacer(seed=0, device=no_ps_dev).place(nl)
         assert p.is_legal()
 
     def test_svg_without_ps(self, no_ps_dev):
@@ -48,7 +48,7 @@ class TestNoPSDevice:
 class TestRoutingIntoSTA:
     def test_detour_array_alignment(self, mini_accel, small_dev):
         """Router detours index by net id — STA must consume them aligned."""
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         r = GlobalRouter(grid=(8, 8), capacity=0.05, detour_strength=2.0).route(p)
         assert r.net_detour.shape[0] == len(mini_accel.nets)
         sta = StaticTimingAnalyzer(mini_accel)

@@ -34,7 +34,7 @@ class TestVerilogExport:
         assert "\\u_pu0/pe0/dsp_0 " in v
 
     def test_loc_attributes_with_placement(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         v = netlist_to_verilog(mini_accel, placement=p)
         locs = re.findall(r'\(\* LOC = "DSP48E2_X(\d+)Y(\d+)" \*\)', v)
         assert len(locs) == len(mini_accel.dsp_indices())

@@ -47,6 +47,26 @@ def _sample_doc() -> dict:
     }
 
 
+def _job_section() -> dict:
+    return {
+        "id": "job-0001",
+        "submitted_unix": 100.0,
+        "started_unix": 100.5,
+        "finished_unix": 103.0,
+        "cache": "miss",
+        "race": {
+            "k": 2,
+            "policy": "best",
+            "winner_seed": 1,
+            "attempts": [
+                {"seed": 0, "status": "ok", "hpwl_um": 10.0},
+                {"seed": 1, "status": "ok", "hpwl_um": 9.0},
+            ],
+            "cancelled": 0,
+        },
+    }
+
+
 class TestValidation:
     def test_valid_document(self):
         assert validate_report(_sample_doc()) == []
@@ -80,6 +100,44 @@ class TestValidation:
         with pytest.raises(ReportSchemaError):
             RunReport.from_dict(doc)
 
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(job=[]),
+            lambda d: d["job"].pop("id"),
+            lambda d: d["job"].update(id=""),
+            lambda d: d["job"].update(cache="warm"),
+            lambda d: d["job"].update(submitted_unix="now"),
+            lambda d: d["job"].update(race={"k": 0, "policy": "best"}),
+            lambda d: d["job"].update(race={"k": 2, "policy": "best", "cancelled": -1}),
+            lambda d: d["job"].update(
+                race={"k": 2, "policy": "best", "attempts": [{"seed": 1}]}
+            ),
+        ],
+    )
+    def test_broken_job_sections_rejected(self, mutate):
+        doc = _sample_doc()
+        doc["job"] = _job_section()
+        mutate(doc)
+        assert validate_report(doc) != []
+
+    def test_valid_job_section(self):
+        doc = _sample_doc()
+        doc["job"] = _job_section()
+        assert validate_report(doc) == []
+
+    def test_job_section_requires_v2(self):
+        doc = _sample_doc()
+        doc["schema_version"] = 1
+        doc["job"] = _job_section()
+        problems = validate_report(doc)
+        assert any("schema_version >= 2" in p for p in problems)
+
+    def test_v1_documents_stay_valid(self):
+        doc = _sample_doc()
+        doc["schema_version"] = 1
+        assert validate_report(doc) == []
+
     def test_cli_validator(self, tmp_path, capsys):
         good = tmp_path / "good.json"
         good.write_text(json.dumps(_sample_doc()))
@@ -96,6 +154,15 @@ class TestRoundTrip:
         assert again.to_dict() == rep.to_dict()
         assert again.span_names() == {"place", "place.extraction"}
         assert "mcf.solves" in again.metric_names()
+
+    def test_job_section_round_trips(self):
+        doc = _sample_doc()
+        doc["job"] = _job_section()
+        rep = RunReport.from_dict(doc)
+        assert rep.job["id"] == "job-0001"
+        assert rep.to_dict()["job"]["race"]["winner_seed"] == 1
+        # a job-less report omits the key entirely
+        assert "job" not in RunReport.from_dict(_sample_doc()).to_dict()
 
     def test_stage_seconds_and_aggregate(self):
         rep = RunReport.from_dict(_sample_doc())

@@ -1,6 +1,6 @@
-"""The unified Placer protocol: conformance, shims, config round-trips."""
+"""The unified Placer protocol: conformance, cancellation, config hashing."""
 
-import warnings
+import json
 
 import pytest
 
@@ -13,6 +13,7 @@ from repro.placers import (
     Placer,
     get_placer,
 )
+from repro.placers.api import PlacementRequest, PlacementResponse
 from repro.placers.vivado_like import VivadoLikePlacer
 
 
@@ -53,23 +54,50 @@ class TestProtocolConformance:
         assert adapter.dsplacer is placer
 
 
-class TestLegacyShim:
-    def test_old_signature_warns_but_works(self, small_dev, mini_accel):
-        placer = VivadoLikePlacer(seed=0)  # no device bound
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            placement = placer.place(mini_accel, small_dev)
-        assert placement.is_legal()
+class TestShimRemoved:
+    """The PR 2 ``place(netlist, device)`` deprecation shim is gone."""
 
-    def test_bound_device_does_not_warn(self, small_dev, mini_accel):
-        placer = VivadoLikePlacer(seed=0, device=small_dev)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            placement = placer.place(mini_accel)
-        assert placement.is_legal()
+    def test_positional_device_rejected(self, small_dev, mini_accel):
+        # the second positional is now `placement`; with no bound device the
+        # call errors loudly instead of silently re-binding
+        with pytest.raises((TypeError, AttributeError, ConfigurationError)):
+            VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
 
     def test_no_device_anywhere_is_an_error(self, mini_accel):
         with pytest.raises(ConfigurationError, match="no device"):
             VivadoLikePlacer(seed=0).place(mini_accel)
+
+
+class TestCancellationHook:
+    @pytest.mark.parametrize("name", PLACER_NAMES)
+    def test_every_engine_has_cancel(self, name, small_dev):
+        placer = get_placer(name, small_dev, seed=0)
+        assert callable(placer.cancel)
+
+    def test_dsplacer_cancel_stops_outer_loop(self, small_dev, mini_accel):
+        adapter = get_placer("dsplacer", small_dev, seed=0)
+        adapter.dsplacer.request_cancel()
+        placement = adapter.place(mini_accel)
+        assert placement.is_legal()
+        health = adapter.last_result.health
+        assert health.count("cancelled") == 1
+        assert health.degraded
+        # no assignment work happened: the flag fired before iteration 1
+        assert adapter.last_result.mcf_iterations_used == []
+
+    def test_cancel_flag_is_consumed(self, small_dev, mini_accel):
+        adapter = get_placer("dsplacer", small_dev, seed=0)
+        adapter.cancel()
+        adapter.place(mini_accel)
+        assert adapter.last_result.health.count("cancelled") == 1
+        # next run is clean
+        adapter.place(mini_accel)
+        assert adapter.last_result.health.count("cancelled") == 0
+
+    def test_baseline_cancel_is_safe(self, small_dev, mini_accel):
+        placer = get_placer("vivado", small_dev, seed=0)
+        placer.cancel()  # before the run: single pass still completes
+        assert placer.place(mini_accel).is_legal()
 
 
 class TestConfigRoundTrip:
@@ -95,3 +123,102 @@ class TestConfigRoundTrip:
         cfg = DSPlacerConfig(seed=5, outer_iterations=1)
         adapter = get_placer("dsplacer", small_dev, config=cfg)
         assert adapter.dsplacer.config is cfg
+
+
+class TestConfigCanonicalForm:
+    """to_dict is the canonical, hash-stable serve cache-key form."""
+
+    def test_keys_sorted_and_defaults_filled(self):
+        doc = DSPlacerConfig().to_dict()
+        assert list(doc) == sorted(doc)
+        assert set(doc) == {f for f in DSPlacerConfig.__dataclass_fields__}
+
+    def test_equivalent_configs_hash_identically(self):
+        # an int-valued float knob and a bool-as-int must normalize
+        a = DSPlacerConfig.from_dict({"lam": 100, "strict": 0, "eta": 25})
+        b = DSPlacerConfig(lam=100.0, strict=False, eta=25.0)
+        assert a.to_dict() == b.to_dict()
+        assert a.content_hash() == b.content_hash()
+
+    def test_different_configs_hash_differently(self):
+        assert (
+            DSPlacerConfig(seed=0).content_hash()
+            != DSPlacerConfig(seed=1).content_hash()
+        )
+
+    def test_round_trip_through_canonical_json(self):
+        cfg = DSPlacerConfig(seed=9, lam=7.5, stage_budget_s=2)
+        doc = json.loads(cfg.canonical_json())
+        again = DSPlacerConfig.from_dict(doc)
+        assert again == cfg
+        assert again.content_hash() == cfg.content_hash()
+
+    def test_optional_float_normalizes(self):
+        a = DSPlacerConfig.from_dict({"stage_budget_s": 2})
+        b = DSPlacerConfig(stage_budget_s=2.0)
+        assert a.content_hash() == b.content_hash()
+        assert DSPlacerConfig().to_dict()["stage_budget_s"] is None
+
+
+class TestPlacementRequest:
+    def test_defaults_and_validation(self):
+        req = PlacementRequest()
+        assert req.tool == "dsplacer" and req.race_k == 1
+        with pytest.raises(ConfigurationError, match="unknown tool"):
+            PlacementRequest(tool="quartus")
+        with pytest.raises(ConfigurationError, match="race policy"):
+            PlacementRequest(race_policy="lottery")
+        with pytest.raises(ConfigurationError, match="race_k"):
+            PlacementRequest(race_k=0)
+
+    def test_round_trip(self):
+        req = PlacementRequest(
+            suite="skrskr1", scale=0.05, seed=3, race_k=3, race_policy="first",
+            config={"outer_iterations": 1},
+        )
+        again = PlacementRequest.from_dict(req.to_dict())
+        assert again == req
+        with pytest.raises(ConfigurationError, match="unknown PlacementRequest"):
+            PlacementRequest.from_dict({"sweet": "skynet"})
+
+    def test_attempt_seeds_and_with_seed(self):
+        req = PlacementRequest(seed=10, race_k=3)
+        assert req.attempt_seeds() == [10, 11, 12]
+        pinned = req.with_seed(12)
+        assert pinned.seed == 12
+        # the workload netlist stays pinned to the base seed
+        assert pinned.effective_netlist_seed == 10
+        assert pinned.resolved_config().seed == 12
+
+    def test_config_overrides_flow_into_resolved_config(self):
+        req = PlacementRequest(seed=2, config={"lam": 50, "outer_iterations": 1})
+        cfg = req.resolved_config()
+        assert cfg.lam == 50.0 and cfg.outer_iterations == 1 and cfg.seed == 2
+
+
+class TestPlacementResponse:
+    def test_ok_and_wall_time(self):
+        resp = PlacementResponse(
+            job_id="j1", status="ok", submitted_unix=1.0, finished_unix=3.5
+        )
+        assert resp.ok and resp.wall_s == pytest.approx(2.5)
+        assert resp.raise_for_status() is resp
+
+    def test_raise_for_status_rehydrates_typed_error(self):
+        from repro.errors import ServeError, WorkerCrashError
+
+        resp = PlacementResponse(
+            job_id="j2",
+            status="failed",
+            error={"type": "WorkerCrashError", "message": "worker died"},
+        )
+        with pytest.raises(WorkerCrashError, match="worker died"):
+            resp.raise_for_status()
+        bare = PlacementResponse(job_id="j3", status="cancelled")
+        with pytest.raises(ServeError):
+            bare.raise_for_status()
+
+    def test_to_dict_is_json_ready(self):
+        resp = PlacementResponse(job_id="j4", status="ok", request=PlacementRequest())
+        doc = json.loads(json.dumps(resp.to_dict()))
+        assert doc["job_id"] == "j4" and doc["request"]["tool"] == "dsplacer"

@@ -9,13 +9,13 @@ from repro.placers.detailed_clb import refine_clb
 
 class TestRefineCLB:
     def test_never_degrades(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         before = p.hpwl(weighted=True)
         refine_clb(p, max_cells=500, passes=2)
         assert p.hpwl(weighted=True) <= before + 1e-6
 
     def test_stays_legal(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         refine_clb(p, max_cells=500)
         assert p.is_legal(), p.legality_violations()[:3]
 

@@ -79,11 +79,11 @@ class TestApplyPacking:
 
 class TestPackedFlow:
     def test_packed_flow_legal(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0, pack_ble=True).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, pack_ble=True, device=small_dev).place(mini_accel)
         assert p.is_legal()
 
     def test_packing_reduces_pair_distance(self, mini_accel, small_dev):
         packing = pack_lut_ff_pairs(mini_accel)
-        loose = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
-        packed = VivadoLikePlacer(seed=0, pack_ble=True).place(mini_accel, small_dev)
+        loose = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
+        packed = VivadoLikePlacer(seed=0, pack_ble=True, device=small_dev).place(mini_accel)
         assert packing_quality(packed, packing) <= packing_quality(loose, packing)

@@ -9,7 +9,7 @@ from repro.router import GlobalRouter, net_hpwl, steiner_factor
 
 class TestEstimator:
     def test_net_hpwl_matches_placement_total(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         assert net_hpwl(p).sum() == pytest.approx(p.hpwl())
 
     def test_steiner_factor_small_nets(self):
@@ -22,7 +22,7 @@ class TestEstimator:
 
 @pytest.fixture(scope="module")
 def routed(mini_accel, small_dev):
-    p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+    p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
     return p, GlobalRouter(grid=(16, 16)).route(p)
 
 
@@ -68,7 +68,7 @@ class TestGlobalRouter:
         """Alternating cells between opposite corners overlaps every net's
         bbox in the middle — overflow and detours must exceed the optimized
         placement's."""
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         router = GlobalRouter(grid=(16, 16), capacity=0.3)
         spread = router.route(p)
         stretched = Placement(mini_accel, small_dev)

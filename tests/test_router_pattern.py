@@ -9,7 +9,7 @@ from repro.router import GlobalRouter, PatternRouter
 
 @pytest.fixture(scope="module")
 def placed(mini_accel, small_dev):
-    return VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+    return VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
 
 
 class TestPatternRouter:

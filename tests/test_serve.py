@@ -1,0 +1,247 @@
+"""Placement-as-a-service: cache keys, job lifecycle, racing, workers."""
+
+import pytest
+
+from repro.errors import JobCancelledError, ServeError
+from repro.obs import validate_report
+from repro.placers.api import PlacementRequest
+from repro.serve import (
+    CacheEntry,
+    PlacementServer,
+    ResultCache,
+    cache_key,
+    device_id,
+    netlist_content_hash,
+)
+
+#: one outer iteration keeps each worker placement well under a second
+FAST = {"outer_iterations": 1}
+
+
+def fast_request(**overrides) -> PlacementRequest:
+    doc = {"suite": "ismartdnn", "scale": 0.02, "seed": 0, "config": FAST}
+    doc.update(overrides)
+    return PlacementRequest(**doc)
+
+
+@pytest.fixture()
+def server():
+    with PlacementServer(workers=2) as srv:
+        yield srv
+
+
+class TestCacheKey:
+    def test_identical_inputs_collide(self, small_dev, mini_accel):
+        a = cache_key(mini_accel, small_dev, fast_request())
+        b = cache_key(mini_accel, small_dev, fast_request())
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 1},
+            {"tool": "vivado"},
+            {"race_k": 3},
+            {"race_policy": "first", "race_k": 2},
+            {"with_timing": True},
+            {"config": {"outer_iterations": 2}},
+        ],
+    )
+    def test_request_changes_change_the_key(self, small_dev, mini_accel, override):
+        base = cache_key(mini_accel, small_dev, fast_request())
+        assert cache_key(mini_accel, small_dev, fast_request(**override)) != base
+
+    def test_netlist_content_drives_the_key(self, small_dev, mini_accel, tiny_netlist):
+        req = fast_request()
+        assert cache_key(mini_accel, small_dev, req) != cache_key(
+            tiny_netlist, small_dev, req
+        )
+
+    def test_device_identity(self, small_dev, no_ps_dev, tiny_netlist):
+        assert device_id(small_dev) != device_id(no_ps_dev)
+        req = fast_request()
+        assert cache_key(tiny_netlist, small_dev, req) != cache_key(
+            tiny_netlist, no_ps_dev, req
+        )
+
+    def test_equivalent_configs_collide(self, small_dev, mini_accel):
+        a = fast_request(config={"outer_iterations": 1, "lam": 100})
+        b = fast_request(config={"lam": 100.0, "outer_iterations": 1})
+        assert cache_key(mini_accel, small_dev, a) == cache_key(mini_accel, small_dev, b)
+
+    def test_netlist_hash_is_stable(self, mini_accel):
+        assert netlist_content_hash(mini_accel) == netlist_content_hash(mini_accel)
+
+
+class TestResultCache:
+    def _entry(self, tag: int) -> CacheEntry:
+        return CacheEntry(
+            quality={"hpwl_um": float(tag)}, report=None, placement=None,
+            seed_used=tag, cold_wall_s=1.0,
+        )
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", self._entry(1))
+        cache.put("b", self._entry(2))
+        assert cache.get("a") is not None  # refresh 'a'
+        cache.put("c", self._entry(3))  # evicts 'b'
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_stats(self):
+        cache = ResultCache()
+        cache.put("k", self._entry(1))
+        cache.get("k")
+        cache.get("nope")
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+
+class TestJobLifecycle:
+    def test_miss_then_hit_is_deterministic(self, server, small_dev, mini_accel):
+        req = fast_request()
+        cold = server.submit(req, netlist=mini_accel, device=small_dev).result(timeout=120)
+        cold.raise_for_status()
+        assert cold.cache == "miss" and cold.ok
+        assert cold.placement.is_legal()
+        assert cold.quality["hpwl_um"] == pytest.approx(cold.placement.hpwl())
+
+        hot_job = server.submit(req, netlist=mini_accel, device=small_dev)
+        hot = hot_job.result(timeout=10)
+        assert hot.cache == "hit"
+        assert hot_job.attempts == []  # nothing was placed
+        assert hot.quality == cold.quality
+        assert (hot.placement.xy == cold.placement.xy).all()
+        assert (hot.placement.site == cold.placement.site).all()
+
+    def test_reports_are_schema_v2(self, server, small_dev, mini_accel):
+        resp = server.submit(
+            fast_request(), netlist=mini_accel, device=small_dev
+        ).result(timeout=120)
+        report = resp.report
+        assert report["schema_version"] == 2
+        assert validate_report(report) == []
+        job = report["job"]
+        assert job["id"] == resp.job_id and job["cache"] == "miss"
+        assert job["submitted_unix"] <= job["started_unix"] <= job["finished_unix"]
+
+    def test_no_cache_bypasses(self, server, small_dev, mini_accel):
+        req = fast_request(use_cache=False)
+        first = server.submit(req, netlist=mini_accel, device=small_dev)
+        second = server.submit(req, netlist=mini_accel, device=small_dev)
+        server.drain(timeout=240)
+        assert first.result().cache == "bypass"
+        assert second.result().cache == "bypass"
+        assert second.attempts, "bypass must recompute, not reuse"
+
+    def test_concurrent_duplicates_coalesce(self, server, small_dev, mini_accel):
+        req = fast_request(seed=5)
+        leader = server.submit(req, netlist=mini_accel, device=small_dev)
+        follower = server.submit(req, netlist=mini_accel, device=small_dev)
+        server.drain(timeout=240)
+        assert follower.attempts == [], "duplicate of an in-flight job must not re-place"
+        lead, follow = leader.result(), follower.result()
+        assert lead.cache == "miss" and follow.cache == "hit"
+        assert follow.quality == lead.quality
+
+    def test_cancel_queued_job(self, small_dev, mini_accel):
+        with PlacementServer(workers=1) as srv:
+            running = srv.submit(fast_request(), netlist=mini_accel, device=small_dev)
+            queued = srv.submit(fast_request(seed=9), netlist=mini_accel, device=small_dev)
+            queued.cancel()
+            resp = queued.result(timeout=10)
+            assert resp.status == "cancelled"
+            with pytest.raises(JobCancelledError):
+                resp.raise_for_status()
+            assert running.result(timeout=120).ok
+
+    def test_submit_after_close_rejected(self, small_dev, mini_accel):
+        srv = PlacementServer(workers=1)
+        srv.close()
+        with pytest.raises(ServeError, match="closed"):
+            srv.submit(fast_request(), netlist=mini_accel, device=small_dev)
+
+    def test_close_cancels_in_flight(self, small_dev, mini_accel):
+        srv = PlacementServer(workers=1)
+        job = srv.submit(fast_request(), netlist=mini_accel, device=small_dev)
+        srv.close()
+        assert job.result(timeout=5).status == "cancelled"
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ServeError, match="workers"):
+            PlacementServer(workers=0)
+
+    def test_stats_shape(self, server, small_dev, mini_accel):
+        server.submit(fast_request(), netlist=mini_accel, device=small_dev)
+        assert server.drain(timeout=240)
+        stats = server.stats()
+        assert stats["jobs"] == {"ok": 1}
+        assert stats["running_attempts"] == 0
+        assert stats["cache"]["entries"] == 1
+
+
+class TestRacing:
+    def test_best_policy_beats_or_ties_single_seed(self, server, small_dev, mini_accel):
+        single = server.submit(
+            fast_request(), netlist=mini_accel, device=small_dev
+        ).result(timeout=120)
+        raced = server.submit(
+            fast_request(race_k=3), netlist=mini_accel, device=small_dev
+        ).result(timeout=360)
+        raced.raise_for_status()
+        assert raced.quality["hpwl_um"] <= single.quality["hpwl_um"]
+
+    def test_best_policy_race_is_recorded(self, server, small_dev, mini_accel):
+        resp = server.submit(
+            fast_request(seed=3, race_k=3), netlist=mini_accel, device=small_dev
+        ).result(timeout=360)
+        race = resp.report["job"]["race"]
+        assert race["k"] == 3 and race["policy"] == "best"
+        assert race["winner_seed"] == resp.seed_used
+        seeds = sorted(a["seed"] for a in race["attempts"])
+        assert seeds == [3, 4, 5]
+        assert all(a["status"] == "ok" for a in race["attempts"])
+        # winner's hpwl is the minimum of the portfolio
+        assert resp.quality["hpwl_um"] == min(a["hpwl_um"] for a in race["attempts"])
+        # losers are recorded in the winner's RunHealth
+        events = resp.report["health"]["events"]
+        assert sum(e["stage"] == "serve.race" for e in events) == 2
+        assert validate_report(resp.report) == []
+
+    def test_first_policy_cancels_losers(self, small_dev, mini_accel):
+        with PlacementServer(workers=2) as srv:
+            resp = srv.submit(
+                fast_request(race_k=3, race_policy="first"),
+                netlist=mini_accel,
+                device=small_dev,
+            ).result(timeout=360)
+            resp.raise_for_status()
+            race = resp.report["job"]["race"]
+            statuses = sorted(a["status"] for a in race["attempts"])
+            assert "ok" in statuses
+            # with 2 workers and k=3 at least the queued attempt dies unrun
+            assert race["cancelled"] >= 1
+            assert race["cancelled"] == statuses.count("cancelled")
+            cancelled_events = [
+                e
+                for e in resp.report["health"]["events"]
+                if e["stage"] == "serve.race" and e["kind"] == "cancelled"
+            ]
+            assert len(cancelled_events) == race["cancelled"]
+
+    def test_race_response_placement_matches_quality(self, server, small_dev, mini_accel):
+        resp = server.submit(
+            fast_request(seed=1, race_k=2), netlist=mini_accel, device=small_dev
+        ).result(timeout=360)
+        assert resp.placement.is_legal()
+        assert resp.placement.hpwl() == pytest.approx(resp.quality["hpwl_um"])
+
+
+class TestBaselineTools:
+    @pytest.mark.parametrize("tool", ["vivado", "amf"])
+    def test_baselines_serve_too(self, server, small_dev, mini_accel, tool):
+        resp = server.submit(
+            fast_request(tool=tool), netlist=mini_accel, device=small_dev
+        ).result(timeout=120)
+        resp.raise_for_status()
+        assert resp.quality["legal"]
+        assert resp.report["meta"]["tool"] == tool

@@ -147,7 +147,7 @@ class TestCascadeTiming:
 
 class TestSTAOnGenerated:
     def test_runs_on_accelerator(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         r = GlobalRouter(grid=(16, 16)).route(p)
         sta = StaticTimingAnalyzer(mini_accel)
         assert not sta.has_comb_cycles
@@ -157,7 +157,7 @@ class TestSTAOnGenerated:
         assert rep.tns_ns <= 0.0 or rep.met
 
     def test_max_frequency_consistent(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         sta = StaticTimingAnalyzer(mini_accel)
         fmax = max_frequency(sta, p)
         just_met = sta.analyze(p, period_ns=1e3 / (fmax * 0.99))
@@ -166,7 +166,7 @@ class TestSTAOnGenerated:
         assert just_miss.wns_ns < 1e-6
 
     def test_detours_worsen_wns(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         sta = StaticTimingAnalyzer(mini_accel)
         no_detour = sta.analyze(p, period_ns=8.0)
         r = GlobalRouter(grid=(16, 16), capacity=0.05, detour_strength=2.0).route(p)

@@ -15,7 +15,7 @@ from repro.timing import (
 
 @pytest.fixture(scope="module")
 def analyzed(mini_accel, small_dev):
-    p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+    p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
     rep = StaticTimingAnalyzer(mini_accel).analyze(p, period_ns=6.0)
     return rep, mini_accel
 

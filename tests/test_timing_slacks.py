@@ -27,7 +27,7 @@ def chain_netlist():
 
 class TestRequiredTimes:
     def test_min_cell_slack_equals_wns(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         rep = StaticTimingAnalyzer(mini_accel).analyze(p, period_ns=5.0, with_slacks=True)
         assert np.nanmin(rep.cell_output_slack) == pytest.approx(rep.wns_ns, abs=1e-9)
 
@@ -62,7 +62,7 @@ class TestRequiredTimes:
 
     def test_slack_nonincreasing_along_critical_path(self, mini_accel, small_dev):
         """Every cell on the critical path carries the WNS as its slack."""
-        p = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
         rep = StaticTimingAnalyzer(mini_accel).analyze(p, period_ns=5.0, with_slacks=True)
         for u in rep.critical_path[:-1]:  # endpoint has no output slack req
             assert rep.cell_output_slack[u] == pytest.approx(rep.wns_ns, abs=1e-6)
@@ -70,16 +70,16 @@ class TestRequiredTimes:
 
 class TestTimingDrivenPlacer:
     def test_td_flow_is_legal(self, mini_accel, small_dev):
-        p = VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        p = VivadoLikePlacer(seed=0, timing_driven=True, device=small_dev).place(mini_accel)
         assert p.is_legal()
 
     def test_weights_restored_after_place(self, mini_accel, small_dev):
         before = [n.weight for n in mini_accel.nets]
-        VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        VivadoLikePlacer(seed=0, timing_driven=True, device=small_dev).place(mini_accel)
         after = [n.weight for n in mini_accel.nets]
         assert before == after
 
     def test_td_changes_placement(self, mini_accel, small_dev):
-        p0 = VivadoLikePlacer(seed=0).place(mini_accel, small_dev)
-        p1 = VivadoLikePlacer(seed=0, timing_driven=True).place(mini_accel, small_dev)
+        p0 = VivadoLikePlacer(seed=0, device=small_dev).place(mini_accel)
+        p1 = VivadoLikePlacer(seed=0, timing_driven=True, device=small_dev).place(mini_accel)
         assert not np.array_equal(p0.xy, p1.xy)
