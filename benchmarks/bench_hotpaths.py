@@ -2,8 +2,10 @@
 
 Unlike the figure/table benches, this one reproduces no paper artifact: it
 guards the flow's measured hot paths — the linearized MCF assignment
-iterate and the extraction kernels (feature centralities, DSP path
-search, DSP-graph build) — against wall-clock regressions. The
+iterate, the extraction kernels (feature centralities, DSP path search,
+DSP-graph build), and the outer-flow kernels (pattern ``router.route``,
+``sta.analyze`` incl. the backward slack pass, and the end-to-end
+``place`` span) — against wall-clock regressions. The
 workload protocol lives in :mod:`repro.obs.bench`; the committed baseline
 at the repo root records the expected per-stage timings (plus the
 pre-vectorization reference measurements, see ``docs/PERFORMANCE.md``).

@@ -51,6 +51,9 @@ class GlobalPlaceConfig:
     #: (AMF-Placer's VCU108 heritage): spread targets overshoot the fabric
     #: and legalization has to drag everything back in.
     fabric_scale: float = 1.0
+    #: "vectorized" (grouped equalization over all slabs at once) or
+    #: "reference" (per-slab Python loop, the equivalence-test oracle)
+    spread_method: str = "vectorized"
     seed: int = 0
 
 
@@ -59,6 +62,8 @@ class QuadraticGlobalPlacer:
 
     def __init__(self, config: GlobalPlaceConfig | None = None) -> None:
         self.config = config or GlobalPlaceConfig()
+        if self.config.spread_method not in ("vectorized", "reference"):
+            raise ValueError(f"unknown spread_method {self.config.spread_method!r}")
 
     # ------------------------------------------------------------------
     def place(
@@ -145,22 +150,87 @@ class QuadraticGlobalPlacer:
 
     # ------------------------------------------------------------------
     def _spread(self, pos: np.ndarray, areas: np.ndarray, device: Device) -> np.ndarray:
-        """Histogram-equalize x globally, then y within vertical slabs."""
+        """Histogram-equalize x globally, then y within vertical slabs.
+
+        Slab membership uses clipped ``np.digitize`` so every cell lands in
+        exactly one slab. The previous ``>= edge[s] & < edge[s+1]`` scan
+        silently skipped cells sitting at (or, via the ``_equalize``
+        monotonicity epsilon, just above) the last slab edge — their y was
+        never equalized.
+        """
         cfg = self.config
         w = device.width * cfg.fabric_scale
         h = device.height * cfg.fabric_scale
         out = pos.copy()
         out[:, 0] = _equalize(out[:, 0], areas, 0.0, w, cfg.n_bins)
-        slab_edges = np.linspace(0.0, w, cfg.n_slabs + 1)
-        for s in range(cfg.n_slabs):
-            sel = (out[:, 0] >= slab_edges[s]) & (out[:, 0] < slab_edges[s + 1])
-            if sel.sum() > 2:
-                out[sel, 1] = _equalize(out[sel, 1], areas[sel], 0.0, h, cfg.n_bins)
+        slab = _slab_of(out[:, 0], w, cfg.n_slabs)
+        if cfg.spread_method == "vectorized":
+            out[:, 1] = _equalize_grouped(
+                out[:, 1], areas, slab, cfg.n_slabs, 0.0, h, cfg.n_bins
+            )
+        else:
+            for s in range(cfg.n_slabs):
+                sel = slab == s
+                if sel.sum() > 2:
+                    out[sel, 1] = _equalize(out[sel, 1], areas[sel], 0.0, h, cfg.n_bins)
         out[:, 0] = np.clip(out[:, 0], 1.0, w - 1.0)
         out[:, 1] = np.clip(out[:, 1], 1.0, h - 1.0)
         if cfg.avoid_ps and device.ps is not None:
             out = _push_out_of_ps(out, device)
         return out
+
+
+def _slab_of(x: np.ndarray, width: float, n_slabs: int) -> np.ndarray:
+    """Slab index per cell — clipped digitize, so out-of-range x (possible
+    after the epsilon-padded x equalization) still maps to an edge slab."""
+    inner = np.linspace(0.0, width, n_slabs + 1)[1:-1]
+    return np.digitize(x, inner)
+
+
+def _equalize_grouped(
+    coords: np.ndarray,
+    areas: np.ndarray,
+    group: np.ndarray,
+    n_groups: int,
+    lo: float,
+    hi: float,
+    n_bins: int,
+) -> np.ndarray:
+    """Equalize each group's coords like ``_equalize``, all groups at once.
+
+    One flat ``np.bincount`` builds every group's area marginal; the interp
+    back onto the warped edges is a gathered form of ``np.interp`` (same
+    ``fp[j] + slope · (x − xp[j])`` evaluation). Groups with ≤ 2 members or
+    zero in-range area keep their coords, matching the loop reference.
+    """
+    if coords.size == 0:
+        return coords
+    edges = np.linspace(lo, hi, n_bins + 1)
+    # np.histogram semantics: half-open bins, closed last bin, and values
+    # outside [lo, hi] contribute no weight
+    b = np.searchsorted(edges, coords, side="right") - 1
+    j = np.clip(b, 0, n_bins - 1)
+    in_range = (coords >= lo) & (coords <= hi)
+    hist = np.bincount(
+        (group * n_bins + j)[in_range],
+        weights=areas[in_range],
+        minlength=n_groups * n_bins,
+    ).reshape(n_groups, n_bins)
+    counts = np.bincount(group, minlength=n_groups)
+    cdf = np.concatenate([np.zeros((n_groups, 1)), np.cumsum(hist, axis=1)], axis=1)
+    total = cdf[:, -1]
+    active = (counts > 2) & (total > 0)
+    if not active.any():
+        return coords.copy()
+    safe_total = np.where(total > 0, total, 1.0)
+    new_edges = lo + (cdf / safe_total[:, None]) * (hi - lo)
+    new_edges = np.maximum.accumulate(new_edges + np.arange(n_bins + 1) * 1e-9, axis=1)
+    fp0 = new_edges[group, j]
+    slope = (new_edges[group, j + 1] - fp0) / (edges[j + 1] - edges[j])
+    res = slope * (coords - edges[j]) + fp0
+    res = np.where(b < 0, new_edges[group, 0], res)
+    res = np.where(b >= n_bins, new_edges[group, -1], res)
+    return np.where(active[group], res, coords)
 
 
 def _equalize(coords: np.ndarray, areas: np.ndarray, lo: float, hi: float, n_bins: int) -> np.ndarray:

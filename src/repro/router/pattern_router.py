@@ -3,14 +3,26 @@
 A step up in fidelity from the RUDY estimator: the fabric is a grid of
 routing bins with per-edge wire capacity; every driver→sink connection is
 routed as an L (1 bend) or Z (2 bends) pattern chosen by congestion-aware
-cost; overloaded edges raise their history cost and the most congested nets
-are ripped up and re-routed (classic negotiated congestion, PathFinder
-style, restricted to pattern routes for speed).
+cost; overloaded edges raise their history cost and every connection is
+ripped up and re-routed against the updated grids (classic negotiated
+congestion, PathFinder style, restricted to pattern routes for speed).
+
+Negotiation semantics: each round scores **all** connections against the
+usage grids frozen at the start of the round — with a connection's own
+previous route ripped up for its own scoring — then applies every chosen
+route in one batch. This Jacobi-style formulation is what makes the hot
+path a handful of gathers and one scatter-add per round
+(``method="vectorized"``, the default); ``method="reference"`` runs the
+same semantics as per-connection Python loops and is the equivalence-test
+oracle. In the uncongested regime (no edge above capacity, the early-exit
+case) both are also behavior-identical to the historical sequential
+router: every candidate of a connection crosses the same number of bins,
+so with no overload term the first candidate wins either way.
 
 The result carries actual per-net routed lengths and an edge-utilization
 map; :meth:`PatternRouter.route` returns the same
 :class:`~repro.router.global_router.RoutingResult` interface so it can be
-swapped into any flow (`GlobalRouter` remains the default — it is ~50×
+swapped into any flow (`GlobalRouter` remains the default — it is still
 faster and Table II's shape does not depend on the difference; the router
 bench quantifies the correlation between the two).
 """
@@ -19,9 +31,114 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics, trace
 from repro.placers.placement import Placement
 from repro.router.estimator import steiner_factor
 from repro.router.global_router import RoutingResult
+
+#: candidate pattern order (index = candidate id, scoring tie-break order)
+_CAND_L_XY = 0  # L: x then y
+_CAND_L_YX = 1  # L: y then x
+_CAND_Z_H = 2  # Z with a horizontal middle leg
+_CAND_Z_V = 3  # Z with a vertical middle leg
+N_CANDIDATES = 4
+
+
+def candidate_paths(bx0: int, by0: int, bx1: int, by1: int) -> list[list[tuple[str, int, int]]]:
+    """Deduplicated L/Z candidate edge paths between two bins.
+
+    Every path is a list of ``(kind, i, j)`` edges (``kind`` ``"h"`` or
+    ``"v"``). Degenerate candidates are skipped: for straight (same-row or
+    same-column) connections both L patterns — and any Z pattern — collapse
+    onto the identical path, so only the first is emitted (historically the
+    duplicate was cost-evaluated once more per connection per round). A
+    same-bin connection yields a single empty path.
+    """
+
+    def h_run(y: int, xa: int, xb: int) -> list[tuple[str, int, int]]:
+        lo, hi = sorted((xa, xb))
+        return [("h", x, y) for x in range(lo, hi)]
+
+    def v_run(x: int, ya: int, yb: int) -> list[tuple[str, int, int]]:
+        lo, hi = sorted((ya, yb))
+        return [("v", x, y) for y in range(lo, hi)]
+
+    dx = bx1 - bx0
+    dy = by1 - by0
+    outs = [h_run(by0, bx0, bx1) + v_run(bx1, by0, by1)]  # L: x then y
+    if dx != 0 and dy != 0:
+        outs.append(v_run(bx0, by0, by1) + h_run(by1, bx0, bx1))  # L: y then x
+    if abs(dx) >= 2 and dy != 0:  # Z with a horizontal middle leg
+        xm = (bx0 + bx1) // 2
+        outs.append(h_run(by0, bx0, xm) + v_run(xm, by0, by1) + h_run(by1, xm, bx1))
+    if abs(dy) >= 2 and dx != 0:  # Z with a vertical middle leg
+        ym = (by0 + by1) // 2
+        outs.append(v_run(bx0, by0, ym) + h_run(ym, bx0, bx1) + v_run(bx1, ym, by1))
+    return outs
+
+
+class _ConnectionBatch:
+    """All driver→sink connections of a placement as flat bin-edge arrays.
+
+    Candidate geometry is static across negotiation rounds, so the edge
+    index arrays are built once: every candidate of a connection crosses
+    exactly ``|dx|`` horizontal and ``|dy|`` vertical bin boundaries — the
+    candidates only differ in *which row* each horizontal edge uses (and
+    which column each vertical edge uses). ``h_y[cand, e]`` / ``v_x[cand,
+    e]`` hold those per-candidate coordinates for every flat edge.
+    """
+
+    def __init__(self, net_id: np.ndarray, bx0, by0, bx1, by1) -> None:
+        self.net_id = net_id
+        self.x0, self.y0, self.x1, self.y1 = bx0, by0, bx1, by1
+        c = len(net_id)
+        self.n = c
+        dx = bx1 - bx0
+        dy = by1 - by0
+        self.nh = np.abs(dx)
+        self.nv = np.abs(dy)
+        xm = (bx0 + bx1) // 2
+        ym = (by0 + by1) // 2
+
+        # candidate validity (duplicates of earlier candidates are invalid)
+        self.valid = np.column_stack(
+            [
+                np.ones(c, dtype=bool),
+                (dx != 0) & (dy != 0),
+                (self.nh >= 2) & (dy != 0),
+                (self.nv >= 2) & (dx != 0),
+            ]
+        )
+
+        # flat horizontal edges: connection id + x, plus per-candidate y
+        self.h_conn = np.repeat(np.arange(c, dtype=np.int64), self.nh)
+        off = np.arange(self.h_conn.size, dtype=np.int64) - np.repeat(
+            np.cumsum(self.nh) - self.nh, self.nh
+        )
+        self.h_x = np.minimum(bx0, bx1)[self.h_conn] + off
+        y0e = by0[self.h_conn]
+        y1e = by1[self.h_conn]
+        self.h_y = np.empty((N_CANDIDATES, self.h_conn.size), dtype=np.int64)
+        self.h_y[_CAND_L_XY] = y0e
+        self.h_y[_CAND_L_YX] = y1e
+        first_leg = (self.h_x < xm[self.h_conn]) != (bx0 > bx1)[self.h_conn]
+        self.h_y[_CAND_Z_H] = np.where(first_leg, y0e, y1e)
+        self.h_y[_CAND_Z_V] = ym[self.h_conn]
+
+        # flat vertical edges: connection id + y, plus per-candidate x
+        self.v_conn = np.repeat(np.arange(c, dtype=np.int64), self.nv)
+        off = np.arange(self.v_conn.size, dtype=np.int64) - np.repeat(
+            np.cumsum(self.nv) - self.nv, self.nv
+        )
+        self.v_y = np.minimum(by0, by1)[self.v_conn] + off
+        x0e = bx0[self.v_conn]
+        x1e = bx1[self.v_conn]
+        self.v_x = np.empty((N_CANDIDATES, self.v_conn.size), dtype=np.int64)
+        self.v_x[_CAND_L_XY] = x1e
+        self.v_x[_CAND_L_YX] = x0e
+        self.v_x[_CAND_Z_H] = xm[self.v_conn]
+        first_leg = (self.v_y < ym[self.v_conn]) != (by0 > by1)[self.v_conn]
+        self.v_x[_CAND_Z_V] = np.where(first_leg, x0e, x1e)
 
 
 class PatternRouter:
@@ -35,120 +152,198 @@ class PatternRouter:
         history_cost: float = 0.5,
         detour_strength: float = 0.6,
         max_connections: int = 250_000,
+        method: str = "vectorized",
     ) -> None:
+        if method not in ("vectorized", "reference"):
+            raise ValueError(f"unknown pattern-router method {method!r}")
         self.grid = grid
         self.capacity_per_edge = capacity_per_edge
         self.n_rounds = n_rounds
         self.history_cost = history_cost
         self.detour_strength = detour_strength
         self.max_connections = max_connections
+        self.method = method
 
     # ------------------------------------------------------------------
     def route(self, placement: Placement) -> RoutingResult:
+        with trace.span("router.route", method=self.method, grid=list(self.grid)) as sp:
+            result = self._route_impl(placement)
+            sp.set(
+                wirelength_um=result.total_wirelength,
+                overflow_frac=result.overflow_frac,
+            )
+        metrics.inc("router.pattern_routes")
+        metrics.gauge("router.wirelength_um", result.total_wirelength)
+        metrics.gauge("router.overflow_frac", result.overflow_frac)
+        return result
+
+    def _route_impl(self, placement: Placement) -> RoutingResult:
+        batch = self._connections(placement)
+        if batch.n > self.max_connections:
+            raise ValueError(
+                f"{batch.n} connections exceed max_connections; raise the cap "
+                "or use the RUDY GlobalRouter at this scale"
+            )
+        if self.method == "vectorized":
+            usage_h, usage_v = self._negotiate_vectorized(batch)
+        else:
+            usage_h, usage_v = self._negotiate_reference(batch)
+        return self._finish(placement, batch, usage_h, usage_v)
+
+    def _connections(self, placement: Placement) -> _ConnectionBatch:
+        """One connection per driver→sink pair, in net order, as bin coords."""
         dev = placement.device
         gx, gy = self.grid
         bw = dev.width / gx
         bh = dev.height / gy
-
-        # connections: one per driver→sink pair, weighted by net share
         nets = placement.netlist.nets
-        conns: list[tuple[int, int, int, int, int]] = []  # net, bx0, by0, bx1, by1
-        for net in nets:
-            dx, dy = placement.xy[net.driver]
-            b0 = (int(np.clip(dx // bw, 0, gx - 1)), int(np.clip(dy // bh, 0, gy - 1)))
-            for s in net.sinks:
-                sx, sy = placement.xy[s]
-                b1 = (int(np.clip(sx // bw, 0, gx - 1)), int(np.clip(sy // bh, 0, gy - 1)))
-                conns.append((net.index, b0[0], b0[1], b1[0], b1[1]))
-        if len(conns) > self.max_connections:
-            raise ValueError(
-                f"{len(conns)} connections exceed max_connections; raise the cap "
-                "or use the RUDY GlobalRouter at this scale"
-            )
+        n_sinks = np.array([len(net.sinks) for net in nets], dtype=np.int64)
+        drivers = np.array([net.driver for net in nets], dtype=np.int64)
+        sinks = np.fromiter(
+            (s for net in nets for s in net.sinks), dtype=np.int64, count=int(n_sinks.sum())
+        )
+        net_id = np.repeat(np.arange(len(nets), dtype=np.int64), n_sinks)
+        dxy = placement.xy[drivers[net_id]]
+        sxy = placement.xy[sinks]
+        bx0 = np.clip((dxy[:, 0] // bw).astype(np.int64), 0, gx - 1)
+        by0 = np.clip((dxy[:, 1] // bh).astype(np.int64), 0, gy - 1)
+        bx1 = np.clip((sxy[:, 0] // bw).astype(np.int64), 0, gx - 1)
+        by1 = np.clip((sxy[:, 1] // bh).astype(np.int64), 0, gy - 1)
+        return _ConnectionBatch(net_id, bx0, by0, bx1, by1)
 
-        # horizontal edges: (gx-1, gy); vertical edges: (gx, gy-1)
+    # ------------------------------------------------------------------
+    # negotiation engines (identical semantics; see module docstring)
+    # ------------------------------------------------------------------
+    def _negotiate_vectorized(self, batch: _ConnectionBatch):
+        gx, gy = self.grid
+        cap = self.capacity_per_edge
+        history_h = np.zeros((gx - 1) * gy)
+        history_v = np.zeros(gx * (gy - 1))
+        usage_h = np.zeros((gx - 1) * gy)
+        usage_v = np.zeros(gx * (gy - 1))
+
+        h_flat = batch.h_x * gy + batch.h_y  # (4, H) flat edge ids
+        v_flat = batch.v_x * (gy - 1) + batch.v_y  # (4, V)
+        arange_h = np.arange(batch.h_conn.size)
+        arange_v = np.arange(batch.v_conn.size)
+        cand_cost = np.empty((batch.n, N_CANDIDATES))
+        choice: np.ndarray | None = None
+
+        for rnd in range(self.n_rounds):
+            # per-edge cost seen by a connection: 1 + history + overload of
+            # the frozen round-start usage (own previous route ripped up)
+            full_h = 1.0 + history_h + np.maximum(0.0, usage_h + 1.0 - cap)
+            full_v = 1.0 + history_v + np.maximum(0.0, usage_v + 1.0 - cap)
+            ripped_h = 1.0 + history_h + np.maximum(0.0, usage_h - cap)
+            ripped_v = 1.0 + history_v + np.maximum(0.0, usage_v - cap)
+            if choice is not None:
+                h_old = h_flat[choice[batch.h_conn], arange_h]
+                v_old = v_flat[choice[batch.v_conn], arange_v]
+            for j in range(N_CANDIDATES):
+                cost_h = full_h[h_flat[j]]
+                cost_v = full_v[v_flat[j]]
+                if choice is not None:
+                    own = h_flat[j] == h_old
+                    cost_h = np.where(own, ripped_h[h_flat[j]], cost_h)
+                    own = v_flat[j] == v_old
+                    cost_v = np.where(own, ripped_v[v_flat[j]], cost_v)
+                cand_cost[:, j] = np.bincount(
+                    batch.h_conn, weights=cost_h, minlength=batch.n
+                ) + np.bincount(batch.v_conn, weights=cost_v, minlength=batch.n)
+            cand_cost[~batch.valid] = np.inf
+            choice = np.argmin(cand_cost, axis=1)
+
+            usage_h = np.bincount(
+                h_flat[choice[batch.h_conn], arange_h], minlength=usage_h.size
+            ).astype(np.float64)
+            usage_v = np.bincount(
+                v_flat[choice[batch.v_conn], arange_v], minlength=usage_v.size
+            ).astype(np.float64)
+            history_h += self.history_cost * np.maximum(0.0, usage_h - cap) / max(cap, 1.0)
+            history_v += self.history_cost * np.maximum(0.0, usage_v - cap) / max(cap, 1.0)
+            if (usage_h.size == 0 or usage_h.max() <= cap) and (
+                usage_v.size == 0 or usage_v.max() <= cap
+            ):
+                break
+        return usage_h.reshape(gx - 1, gy), usage_v.reshape(gx, gy - 1)
+
+    def _negotiate_reference(self, batch: _ConnectionBatch):
+        """Per-connection loop engine with the same frozen-round semantics."""
+        gx, gy = self.grid
+        cap = self.capacity_per_edge
         usage_h = np.zeros((gx - 1, gy))
         usage_v = np.zeros((gx, gy - 1))
         history_h = np.zeros_like(usage_h)
         history_v = np.zeros_like(usage_v)
+        cands = [
+            candidate_paths(
+                int(batch.x0[c]), int(batch.y0[c]), int(batch.x1[c]), int(batch.y1[c])
+            )
+            for c in range(batch.n)
+        ]
         routes: dict[int, list[tuple[str, int, int]]] = {}
 
-        def edge_cost(kind: str, i: int, j: int) -> float:
-            if kind == "h":
-                over = max(0.0, usage_h[i, j] + 1.0 - self.capacity_per_edge)
-                return 1.0 + history_h[i, j] + over
-            over = max(0.0, usage_v[i, j] + 1.0 - self.capacity_per_edge)
-            return 1.0 + history_v[i, j] + over
-
-        def h_run(y: int, x0: int, x1: int):
-            lo, hi = sorted((x0, x1))
-            return [("h", x, y) for x in range(lo, hi)]
-
-        def v_run(x: int, y0: int, y1: int):
-            lo, hi = sorted((y0, y1))
-            return [("v", x, y) for y in range(lo, hi)]
-
-        def candidates(bx0, by0, bx1, by1):
-            outs = []
-            outs.append(h_run(by0, bx0, bx1) + v_run(bx1, by0, by1))  # L: x then y
-            outs.append(v_run(bx0, by0, by1) + h_run(by1, bx0, bx1))  # L: y then x
-            if abs(bx1 - bx0) >= 2:  # Z with a horizontal middle leg
-                xm = (bx0 + bx1) // 2
-                outs.append(
-                    h_run(by0, bx0, xm) + v_run(xm, by0, by1) + h_run(by1, xm, bx1)
-                )
-            if abs(by1 - by0) >= 2:  # Z with a vertical middle leg
-                ym = (by0 + by1) // 2
-                outs.append(
-                    v_run(bx0, by0, ym) + h_run(ym, bx0, bx1) + v_run(bx1, ym, by1)
-                )
-            return outs
-
-        def apply(path, sign: float):
-            for kind, i, j in path:
-                if kind == "h":
-                    usage_h[i, j] += sign
-                else:
-                    usage_v[i, j] += sign
-
-        # initial routing + negotiated rounds
-        order = list(range(len(conns)))
         for rnd in range(self.n_rounds):
-            for ci in order:
-                nid, bx0, by0, bx1, by1 = conns[ci]
-                if rnd > 0:
-                    old = routes.get(ci)
-                    if old is not None:
-                        apply(old, -1.0)
-                best_path = None
+            base_h = usage_h.copy()
+            base_v = usage_v.copy()
+
+            def edge_cost(kind: str, i: int, j: int, own: set) -> float:
+                rip = 1.0 if (kind, i, j) in own else 0.0
+                if kind == "h":
+                    over = max(0.0, base_h[i, j] - rip + 1.0 - cap)
+                    return 1.0 + history_h[i, j] + over
+                over = max(0.0, base_v[i, j] - rip + 1.0 - cap)
+                return 1.0 + history_v[i, j] + over
+
+            new_routes: dict[int, list[tuple[str, int, int]]] = {}
+            for ci in range(batch.n):
+                own = set(routes.get(ci, ()))
+                best_path: list[tuple[str, int, int]] | None = None
                 best_cost = np.inf
-                for path in candidates(bx0, by0, bx1, by1):
-                    c = sum(edge_cost(k, i, j) for k, i, j in path)
+                for path in cands[ci]:
+                    c = sum(edge_cost(k, i, j, own) for k, i, j in path)
                     if c < best_cost:
                         best_cost = c
                         best_path = path
-                routes[ci] = best_path or []
-                apply(routes[ci], +1.0)
-            # raise history cost on overloaded edges
-            history_h += self.history_cost * np.maximum(
-                0.0, usage_h - self.capacity_per_edge
-            ) / max(self.capacity_per_edge, 1.0)
-            history_v += self.history_cost * np.maximum(
-                0.0, usage_v - self.capacity_per_edge
-            ) / max(self.capacity_per_edge, 1.0)
-            if usage_h.max() <= self.capacity_per_edge and usage_v.max() <= self.capacity_per_edge:
+                new_routes[ci] = best_path if best_path is not None else []
+            routes = new_routes
+            usage_h[:] = 0.0
+            usage_v[:] = 0.0
+            for path in routes.values():
+                for kind, i, j in path:
+                    if kind == "h":
+                        usage_h[i, j] += 1.0
+                    else:
+                        usage_v[i, j] += 1.0
+            history_h += self.history_cost * np.maximum(0.0, usage_h - cap) / max(cap, 1.0)
+            history_v += self.history_cost * np.maximum(0.0, usage_v - cap) / max(cap, 1.0)
+            if usage_h.max(initial=0.0) <= cap and usage_v.max(initial=0.0) <= cap:
                 break
+        return usage_h, usage_v
 
-        # per-net routed length and detour
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        placement: Placement,
+        batch: _ConnectionBatch,
+        usage_h: np.ndarray,
+        usage_v: np.ndarray,
+    ) -> RoutingResult:
+        dev = placement.device
+        gx, gy = self.grid
+        bw = dev.width / gx
+        bh = dev.height / gy
+        nets = placement.netlist.nets
+
         xmin, xmax, ymin, ymax = placement.net_bboxes()
         hp = (xmax - xmin) + (ymax - ymin)
         fanouts = np.array([n.degree for n in nets], dtype=np.float64)
         base = hp * steiner_factor(fanouts)
-        routed_bins = np.zeros(len(nets))
-        for ci, path in routes.items():
-            nid = conns[ci][0]
-            for kind, _i, _j in path:
-                routed_bins[nid] += bw if kind == "h" else bh
+        # every candidate of a connection crosses |dx| h- and |dy| v-edges,
+        # so routed bin length is independent of which pattern won
+        routed_bins = np.bincount(
+            batch.net_id, weights=batch.nh * bw + batch.nv * bh, minlength=len(nets)
+        )
         # a net's pattern length across sinks double-counts shared trunks;
         # scale to the Steiner estimate and never report below it
         routed = np.maximum(base, np.minimum(routed_bins, base * 2.5))
