@@ -123,9 +123,14 @@ def generate_accelerator(
     rng = np.random.default_rng(cfg.seed if seed is None else seed)
     b = _Builder(cfg, rng)
 
-    if device is not None and device.ps is not None:
-        ps_xy = device.ps.ps_to_pl_xy
+    if device is not None:
         frame_w, frame_h = device.width, device.height
+        if device.ps is not None:
+            ps_xy = device.ps.ps_to_pl_xy
+        else:
+            # PS-less fabric (e.g. slot_fabric): anchor the PS cell near the
+            # bottom-left corner so the datapath-angle geometry still holds
+            ps_xy = (frame_w / 20.0, frame_h / 20.0)
     else:
         ps_xy = (100.0, 100.0)
         frame_w = frame_h = 1000.0

@@ -46,7 +46,7 @@ from repro import obs
 from repro.accelgen import SUITE_NAMES, generate_suite
 from repro.core import DSPlacerConfig
 from repro.errors import ConfigurationError, ReproError
-from repro.fpga import scaled_zcu104
+from repro.fpga import FABRIC_NAMES, fabric_device
 from repro.netlist import save_netlist
 from repro.obs import RunReport, render_trace, trace
 from repro.placers.api import (
@@ -111,6 +111,12 @@ def _add_common(p: argparse.ArgumentParser, *, multi_suite: bool = False) -> Non
     else:
         p.add_argument("--suite", default="skynet", choices=SUITE_NAMES)
     p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument(
+        "--fabric",
+        default="zcu104",
+        choices=FABRIC_NAMES,
+        help="target fabric: the ZCU104 model or the slot-fabric scenario",
+    )
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -237,7 +243,7 @@ def _race_placement(request: PlacementRequest, netlist, device, emitter: ReportE
 
 def _place(args) -> int:
     emitter = ReportEmitter(args)
-    device = scaled_zcu104(args.scale)
+    device = fabric_device(args.fabric, args.scale)
     netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
     emitter.info(f"{netlist.stats(device.n_dsp)}")
     config = _dsplacer_config(args)
@@ -264,7 +270,10 @@ def _place(args) -> int:
                     emitter.info(result.health.summary())
                     health = result.health.to_dict()
             route = GlobalRouter().route(placement)
-            sta = StaticTimingAnalyzer(netlist)
+            from repro.clock import get_skew_model
+
+            skew = get_skew_model(config.skew_model, device)
+            sta = StaticTimingAnalyzer(netlist, skew_model=skew)
             fmax = max_frequency(sta, placement, route)
             rep = sta.analyze(placement, route)
     emitter.result(
@@ -286,6 +295,7 @@ def _place(args) -> int:
                 "tool": request.tool,
                 "suite": args.suite,
                 "scale": args.scale,
+                "fabric": args.fabric,
                 "seed": args.seed,
                 "config": config.to_dict(),
             },
@@ -300,6 +310,10 @@ def _place(args) -> int:
             },
         )
         report.job = job_doc
+        if config.skew_model != "region" or config.skew_weight > 0:
+            from repro.clock import clock_report_section
+
+            report.clock = clock_report_section(skew, placement, netlist)
         emitter.emit(report)
     if getattr(args, "svg", None):
         from repro.core.extraction import build_dsp_graph, iddfs_dsp_paths, prune_control_dsps
@@ -315,7 +329,7 @@ def _place(args) -> int:
 
 
 def _generate(args) -> int:
-    device = scaled_zcu104(args.scale)
+    device = fabric_device(args.fabric, args.scale)
     netlist = generate_suite(args.suite, scale=args.scale, device=device, seed=args.seed)
     save_netlist(netlist, args.output)
     print(f"wrote {args.output}: {netlist.stats(device.n_dsp)}")
@@ -445,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-dir",
         default=None,
         metavar="DIR",
-        help="write each job's schema-v2 RunReport JSON into DIR",
+        help="write each job's schema-valid RunReport JSON into DIR",
     )
     ss.set_defaults(func=_serve_submit)
 

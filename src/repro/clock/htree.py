@@ -1,0 +1,194 @@
+"""Deterministic recursive H-tree clock-tree synthesis over device geometry.
+
+A depth-``d`` H-tree drives ``4**d`` leaf tap points arranged on a
+``2**d × 2**d`` grid of cell centres: each recursion level routes from the
+parent tap to the four quadrant centres with an H-shaped segment pair
+(horizontal trunk, vertical branches), inserting one buffer per level. The
+construction is fully deterministic in the device geometry and the
+:class:`HTreeConfig` — no RNG, no dependence on iteration order.
+
+Because every level's four branches have identical Manhattan length, the
+synthesized spine is *balanced by construction* (equal insertion delay at
+every tap, like a real H-tree on an idealized die). Per-sink clock-arrival
+differences therefore come from two physical sources:
+
+- the **last mile**: each sink is served from its nearest tap through
+  ordinary local routing (``local_delay_per_um_ns`` per µm of Manhattan
+  distance), so sinks far from any tap see a later clock;
+- optional **per-tap jitter** (``jitter_ns`` > 0): a deterministic,
+  seed-derived insertion-delay perturbation per tap, standing in for
+  process variation / buffer-load imbalance on real silicon.
+
+:meth:`ClockTree.skew_at` evaluates per-sink arrival times for arbitrary
+coordinate arrays with batched array operations only (nearest-tap search is
+a chunked distance-matrix argmin — no per-sink Python loop), which is what
+the skew-aware STA and assignment passes call on every evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import Device
+
+__all__ = ["HTreeConfig", "ClockTree", "synthesize_htree"]
+
+#: hard ceiling on recursion depth: 4**8 = 65536 taps is already far past
+#: any real clock network and keeps the tap distance matrices bounded
+MAX_DEPTH = 8
+
+#: row-block size for the chunked nearest-tap search (bounds the transient
+#: (chunk, n_taps) distance matrix to a few MB at any tap count)
+_CHUNK = 4096
+
+
+@dataclass(frozen=True)
+class HTreeConfig:
+    """Knobs of the synthesized clock tree (delays in ns, lengths in µm)."""
+
+    #: recursion depth; the tree drives ``4**depth`` leaf taps
+    depth: int = 3
+    #: insertion delay of the one buffer per tree level
+    buffer_delay_ns: float = 0.05
+    #: delay per µm of dedicated clock-spine wire (H segments)
+    wire_delay_per_um_ns: float = 0.0001
+    #: delay per µm of ordinary local routing from a leaf tap to a sink
+    local_delay_per_um_ns: float = 0.0005
+    #: deterministic per-tap insertion-delay jitter amplitude (0 = ideal tree)
+    jitter_ns: float = 0.0
+    #: seed of the jitter derivation (unused when ``jitter_ns`` is 0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.depth, int) or not 0 <= self.depth <= MAX_DEPTH:
+            raise ConfigurationError(
+                f"htree depth must be an int in [0, {MAX_DEPTH}], got {self.depth!r}"
+            )
+        for name in ("buffer_delay_ns", "wire_delay_per_um_ns",
+                     "local_delay_per_um_ns", "jitter_ns"):
+            v = getattr(self, name)
+            if not np.isfinite(v) or v < 0.0:
+                raise ConfigurationError(
+                    f"htree {name} must be a finite non-negative number, got {v!r}"
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "depth": int(self.depth),
+            "buffer_delay_ns": float(self.buffer_delay_ns),
+            "wire_delay_per_um_ns": float(self.wire_delay_per_um_ns),
+            "local_delay_per_um_ns": float(self.local_delay_per_um_ns),
+            "jitter_ns": float(self.jitter_ns),
+            "seed": int(self.seed),
+        }
+
+
+@dataclass(frozen=True)
+class ClockTree:
+    """A synthesized clock network: leaf taps + per-tap insertion delays."""
+
+    taps: np.ndarray  # (n_taps, 2) leaf tap centres, µm
+    tap_delay: np.ndarray  # (n_taps,) root-to-tap insertion delay, ns
+    config: HTreeConfig
+    #: H segments as (x0, y0, x1, y1) rows, for visualization/debugging
+    segments: np.ndarray = field(repr=False, default=None)
+    total_wire_um: float = 0.0
+
+    @property
+    def n_taps(self) -> int:
+        return int(self.taps.shape[0])
+
+    def skew_at(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Per-sink clock arrival times (ns) for coordinate arrays.
+
+        Arrival = insertion delay of the Manhattan-nearest tap + last-mile
+        local routing delay from that tap. Pure array ops: the nearest-tap
+        search runs as a chunked distance-matrix argmin, never a per-sink
+        Python loop (the chunk loop is over fixed-size row blocks).
+        """
+        xs = np.atleast_1d(np.asarray(xs, dtype=np.float64))
+        ys = np.atleast_1d(np.asarray(ys, dtype=np.float64))
+        if xs.shape != ys.shape:
+            raise ValueError(f"xs/ys shape mismatch: {xs.shape} vs {ys.shape}")
+        tx, ty = self.taps[:, 0], self.taps[:, 1]
+        out = np.empty(xs.size, dtype=np.float64)
+        local = self.config.local_delay_per_um_ns
+        for lo in range(0, xs.size, _CHUNK):
+            hi = min(lo + _CHUNK, xs.size)
+            d = np.abs(xs[lo:hi, None] - tx[None, :]) + np.abs(
+                ys[lo:hi, None] - ty[None, :]
+            )
+            j = np.argmin(d, axis=1)
+            out[lo:hi] = self.tap_delay[j] + local * d[np.arange(hi - lo), j]
+        return out
+
+    def worst_skew_ns(self, xs: np.ndarray, ys: np.ndarray) -> float:
+        """Worst pairwise arrival difference over the given sinks."""
+        a = self.skew_at(xs, ys)
+        return float(a.max() - a.min()) if a.size else 0.0
+
+    def describe(self) -> dict:
+        """JSON-ready summary (the RunReport ``clock.htree`` block)."""
+        return {
+            **self.config.to_dict(),
+            "n_taps": self.n_taps,
+            "total_wire_um": float(self.total_wire_um),
+            "tap_delay_min_ns": float(self.tap_delay.min()) if self.n_taps else 0.0,
+            "tap_delay_max_ns": float(self.tap_delay.max()) if self.n_taps else 0.0,
+        }
+
+
+def synthesize_htree(device: Device, config: HTreeConfig | None = None) -> ClockTree:
+    """Synthesize a balanced H-tree over a device's fabric extent.
+
+    Level ``k`` (1-based) subdivides each of the ``4**(k-1)`` regions into
+    quadrants; the parent tap at the region centre routes to the four
+    quadrant centres through an H (one horizontal trunk of the region's
+    half-width, two vertical branches of the half-height). Each hop adds one
+    buffer delay plus wire delay for its Manhattan length, so all taps of a
+    level share one insertion delay — the ideal-tree property real H-trees
+    approximate.
+    """
+    config = config or HTreeConfig()
+    w, h = float(device.width), float(device.height)
+    cx = np.array([w / 2.0])
+    cy = np.array([h / 2.0])
+    delay = np.zeros(1)
+    hw, hh = w / 2.0, h / 2.0  # half-extent of the current regions
+    segments: list[np.ndarray] = []
+    total_wire = 0.0
+    for _ in range(config.depth):
+        qx, qy = hw / 2.0, hh / 2.0  # parent-to-child offsets
+        # horizontal trunk through the parent, then vertical branches
+        segments.append(np.stack([cx - qx, cy, cx + qx, cy], axis=1))
+        for sx in (-1.0, 1.0):
+            segments.append(
+                np.stack([cx + sx * qx, cy - qy, cx + sx * qx, cy + qy], axis=1)
+            )
+        total_wire += float(cx.size) * (2.0 * qx + 2.0 * (2.0 * qy))
+        hop = config.buffer_delay_ns + config.wire_delay_per_um_ns * (qx + qy)
+        ox = np.array([-qx, qx, -qx, qx])
+        oy = np.array([-qy, -qy, qy, qy])
+        cx = (cx[:, None] + ox[None, :]).reshape(-1)
+        cy = (cy[:, None] + oy[None, :]).reshape(-1)
+        delay = np.repeat(delay, 4) + hop
+        hw, hh = qx, qy
+    if config.jitter_ns > 0.0 and cx.size:
+        rng = np.random.default_rng(config.seed)
+        delay = delay + rng.uniform(0.0, config.jitter_ns, cx.size)
+    taps = np.stack([cx, cy], axis=1)
+    # canonical ordering: row-major over the leaf grid (y, then x)
+    order = np.lexsort((taps[:, 0], taps[:, 1]))
+    seg_arr = (
+        np.concatenate(segments, axis=0) if segments else np.zeros((0, 4))
+    )
+    return ClockTree(
+        taps=taps[order],
+        tap_delay=delay[order],
+        config=config,
+        segments=seg_arr,
+        total_wire_um=total_wire,
+    )

@@ -1,0 +1,177 @@
+"""Clock-skew models: the ``SkewModel`` protocol and its implementations.
+
+STA charges every setup check a *launch/capture skew term* added to the
+data arrival time at the capture register. The three models:
+
+- :class:`RegionSkew` — the historical reference: a pessimistic flat
+  penalty of ``skew_per_region`` ns per Chebyshev clock-region step between
+  launch and capture (the UltraScale+ "balanced within a region, skewed
+  across regions" abstraction). Always ≥ 0, bitwise-compatible with the
+  pre-``repro.clock`` inline formula, and the default everywhere.
+- :class:`HTreeSkew` — physical per-sink arrivals from a synthesized
+  :class:`~repro.clock.htree.ClockTree`. The setup check uses the signed
+  form: the term added to data arrival is ``arrival[launch] −
+  arrival[capture]``, i.e. slack picks up ``skew[capture] − skew[launch]``
+  (a late capture clock genuinely buys setup time).
+- :class:`ZeroSkew` — the ideal clock network (no term at all), useful to
+  isolate data-path delay in ablations.
+
+Models are stateless with respect to placements: every call derives what it
+needs from the placement passed in, so one model instance can serve many
+placements (and both STA engines) without invalidation hazards.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.clock.htree import ClockTree, HTreeConfig, synthesize_htree
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SkewModel",
+    "RegionSkew",
+    "HTreeSkew",
+    "ZeroSkew",
+    "SKEW_MODEL_NAMES",
+    "get_skew_model",
+]
+
+#: config names accepted by :func:`get_skew_model`
+SKEW_MODEL_NAMES = ("region", "htree", "zero")
+
+
+@runtime_checkable
+class SkewModel(Protocol):
+    """What the STA engines and the assignment cost need from a clock model."""
+
+    name: str
+
+    def arrival_penalty(
+        self, placement, launch: np.ndarray, capture: np.ndarray
+    ) -> np.ndarray | float:
+        """Skew term *added to data arrival* per (launch, capture) pair.
+
+        ``launch``/``capture`` are aligned cell-index arrays; the return is
+        broadcastable against them (an array, or scalar 0.0 when the model
+        charges nothing).
+        """
+        ...
+
+    def arrivals_at(self, device, xy: np.ndarray) -> np.ndarray | None:
+        """Clock arrival time at arbitrary (n, 2) coordinates, or ``None``
+        when the model has no per-point arrival notion (RegionSkew/Zero) —
+        callers must treat ``None`` as "no skew-aware term available"."""
+        ...
+
+    def describe(self) -> dict:
+        """JSON-ready config summary (the RunReport ``clock`` section)."""
+        ...
+
+
+class ZeroSkew:
+    """The ideal clock network: every sink sees the clock simultaneously."""
+
+    name = "zero"
+
+    def arrival_penalty(self, placement, launch, capture) -> float:
+        return 0.0
+
+    def arrivals_at(self, device, xy) -> np.ndarray | None:
+        return None
+
+    def describe(self) -> dict:
+        return {"model": self.name}
+
+
+class RegionSkew:
+    """Flat per-clock-region-step penalty (the historical reference model).
+
+    Charges ``skew_per_region × Chebyshev(region(launch), region(capture))``
+    to the data arrival — exactly the inline formula STA carried before the
+    clock subsystem existed, kept bitwise-identical so default reports do
+    not move.
+    """
+
+    name = "region"
+
+    def __init__(self, skew_per_region: float = 0.03) -> None:
+        if not np.isfinite(skew_per_region) or skew_per_region < 0.0:
+            raise ConfigurationError(
+                f"skew_per_region must be finite and non-negative, "
+                f"got {skew_per_region!r}"
+            )
+        self.skew_per_region = float(skew_per_region)
+
+    def arrival_penalty(self, placement, launch, capture):
+        if not self.skew_per_region:
+            return 0.0
+        xy = placement.xy
+        dev = placement.device
+        lx, ly = dev.clock_regions_of(xy[launch, 0], xy[launch, 1])
+        cx, cy = dev.clock_regions_of(xy[capture, 0], xy[capture, 1])
+        cheb = np.maximum(np.abs(lx - cx), np.abs(ly - cy))
+        return self.skew_per_region * cheb
+
+    def arrivals_at(self, device, xy) -> np.ndarray | None:
+        return None
+
+    def describe(self) -> dict:
+        return {"model": self.name, "skew_per_region_ns": self.skew_per_region}
+
+
+class HTreeSkew:
+    """Per-sink arrivals from a synthesized H-tree clock network.
+
+    The setup-check term is the signed physical one: arrival penalty =
+    ``clock(launch) − clock(capture)``, so a capture register whose clock
+    arrives later than the launcher's gains slack and vice versa. The
+    assignment cost's skew-aware term uses :meth:`arrivals_at` directly.
+    """
+
+    name = "htree"
+
+    def __init__(self, tree: ClockTree) -> None:
+        self.tree = tree
+
+    def arrival_penalty(self, placement, launch, capture):
+        xy = placement.xy
+        a_launch = self.tree.skew_at(xy[launch, 0], xy[launch, 1])
+        a_capture = self.tree.skew_at(xy[capture, 0], xy[capture, 1])
+        return a_launch - a_capture
+
+    def arrivals_at(self, device, xy) -> np.ndarray | None:
+        xy = np.asarray(xy, dtype=np.float64)
+        return self.tree.skew_at(xy[..., 0].reshape(-1), xy[..., 1].reshape(-1))
+
+    def describe(self) -> dict:
+        return {"model": self.name, "htree": self.tree.describe()}
+
+
+def get_skew_model(
+    name: str,
+    device,
+    *,
+    skew_per_region: float | None = None,
+    htree_config: HTreeConfig | None = None,
+) -> SkewModel:
+    """Construct a skew model by its config name.
+
+    ``"htree"`` reuses the device's attached :class:`ClockTree` when one
+    exists (the ``slot_fabric`` builder synthesizes taps at clock-region
+    centres); otherwise it synthesizes a default tree over the device.
+    """
+    if name == "region":
+        return RegionSkew(0.03 if skew_per_region is None else skew_per_region)
+    if name == "zero":
+        return ZeroSkew()
+    if name == "htree":
+        tree = getattr(device, "clock_tree", None)
+        if tree is None or htree_config is not None:
+            tree = synthesize_htree(device, htree_config)
+        return HTreeSkew(tree)
+    raise ConfigurationError(
+        f"unknown skew model {name!r} (expected one of {SKEW_MODEL_NAMES})"
+    )

@@ -106,6 +106,17 @@ class DSPlacerConfig:
     #: STA required-time pass computes per-cell slacks and the assignment
     #: pulls DSPs harder toward neighbours on failing paths.
     timing_driven: bool = False
+    #: clock-skew model for STA and the skew-aware assignment term:
+    #: "region" (historical per-clock-region penalty, the default),
+    #: "htree" (per-sink arrivals from a synthesized H-tree — reuses the
+    #: device's attached clock tree when one exists), or "zero" (ideal
+    #: clock). See :mod:`repro.clock`.
+    skew_model: str = "region"
+    #: > 0 enables the skew-aware assignment term: DSP sites whose clock
+    #: arrival strays from the weighted-mean arrival of the DSP's
+    #: neighbours are surcharged. Only effective with ``skew_model="htree"``
+    #: (the other models expose no per-point arrivals).
+    skew_weight: float = 0.0
     seed: int = 0
     #: strict mode: stage failures, budget overruns and validation problems
     #: raise their typed :class:`~repro.errors.ReproError` instead of
@@ -279,6 +290,12 @@ class DSPlacer:
                 "the leave-one-out training protocol)"
             )
 
+    def _skew_model_obj(self):
+        """The configured :class:`~repro.clock.SkewModel` over this device."""
+        from repro.clock import get_skew_model
+
+        return get_skew_model(self.config.skew_model, self.device)
+
     def _base_placer(self):
         if self.config.base_placer == "vivado":
             return VivadoLikePlacer(seed=self.config.seed, device=self.device)
@@ -347,6 +364,14 @@ class DSPlacer:
                 health=result.health.to_dict(),
                 quality=result._quality(),
             )
+            if cfg.skew_model != "region" or cfg.skew_weight > 0:
+                # non-default clocking: record the versioned clock section
+                # (schema v3) — default runs keep their historical report
+                from repro.clock import clock_report_section
+
+                result.report.clock = clock_report_section(
+                    self._skew_model_obj(), result.placement, netlist
+                )
         return result
 
     def _place_flow(
@@ -422,6 +447,7 @@ class DSPlacer:
         engine = cfg.assignment_engine
         if engine == "auto":
             engine = "mcf" if len(datapath_dsps) <= 64 else "lsa"
+        skew = self._skew_model_obj()
         assigner = DatapathDSPAssigner(
             netlist,
             self.device,
@@ -434,8 +460,10 @@ class DSPlacer:
                 max_iterations=cfg.mcf_iterations,
                 engine=engine,
                 congestion_weight=cfg.congestion_weight,
+                skew_weight=cfg.skew_weight,
                 seed=cfg.seed,
             ),
+            skew_model=skew,
         )
         legalizer = CascadeLegalizer(netlist, self.device)
         site_xy = self.device.site_xy("DSP")
@@ -455,7 +483,7 @@ class DSPlacer:
         if cfg.timing_driven and netlist.target_freq_mhz:
             from repro.timing.sta import StaticTimingAnalyzer
 
-            sta = StaticTimingAnalyzer(netlist)
+            sta = StaticTimingAnalyzer(netlist, skew_model=skew)
         for outer in range(1, cfg.outer_iterations + 1):
             if self._cancel_requested:
                 self._cancel_requested = False
@@ -551,11 +579,18 @@ class DSPlacer:
         phases["other_placement"] = t_other
 
         # final selection: never return worse than the checkpoint (strict
-        # mode opts out and keeps the paper-faithful last iterate)
+        # mode opts out and keeps the paper-faithful last iterate). The
+        # HPWL-regression half of the guard only applies when wirelength is
+        # the flow's sole objective — a skew-weighted run deliberately
+        # trades HPWL for clock-tap alignment, and the wirelength yardstick
+        # would revert every such trade.
         if best is not None and not cfg.strict:
             final_legal = placement.is_legal()
             final_hpwl = placement.hpwl() if final_legal else np.inf
-            if not final_legal or final_hpwl > best_hpwl * (1.0 + 1e-12):
+            hpwl_is_objective = cfg.skew_weight == 0
+            if not final_legal or (
+                hpwl_is_objective and final_hpwl > best_hpwl * (1.0 + 1e-12)
+            ):
                 reason = (
                     f"final placement HPWL {final_hpwl:.4g} regressed past "
                     f"best-so-far {best_hpwl:.4g}"

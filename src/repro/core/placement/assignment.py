@@ -93,9 +93,19 @@ class AssignmentConfig:
     #: bins (the paper observes its compact layouts raise congestion to a
     #: "medium" level; this knob trades compactness against it). 0 = off.
     congestion_weight: float = 0.0
+    #: extension beyond the paper: penalize sites whose clock arrival (from
+    #: the skew model passed to the assigner) strays from the weighted mean
+    #: arrival of the DSP's netlist neighbours — keeps tightly coupled
+    #: logic under nearby clock taps. 0 = off; needs a skew model exposing
+    #: per-point arrivals (HTreeSkew) to have any effect.
+    skew_weight: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if not np.isfinite(self.skew_weight) or self.skew_weight < 0.0:
+            raise ConfigurationError(
+                f"skew_weight must be finite and non-negative, got {self.skew_weight!r}"
+            )
         if self.max_iterations < 1:
             raise ConfigurationError(
                 f"max_iterations must be >= 1, got {self.max_iterations} "
@@ -121,6 +131,7 @@ class DatapathDSPAssigner:
         dsp_graph: nx.DiGraph,
         datapath_dsps: list[int],
         config: AssignmentConfig | None = None,
+        skew_model=None,
     ) -> None:
         self.netlist = netlist
         self.device = device
@@ -140,6 +151,12 @@ class DatapathDSPAssigner:
         self._site_cos = self.site_xy[:, 0] / norms
         self._site_col = device.site_col("DSP")
         self._site_congestion: np.ndarray | None = None
+        # per-site clock arrival for the skew-aware term; stays None when
+        # the term is off or the model has no per-point arrival notion
+        self._skew_model = skew_model
+        self._site_skew: np.ndarray | None = None
+        if self.config.skew_weight > 0 and skew_model is not None:
+            self._site_skew = skew_model.arrivals_at(device, self.site_xy)
 
         # netlist neighbourhoods (top-weighted, bounded)
         w = connectivity_matrix(netlist)
@@ -308,6 +325,16 @@ class DatapathDSPAssigner:
         cost += self._angle_coef[:, None] * self._site_cos[None, :]
         if cfg.congestion_weight > 0 and self._site_congestion is not None:
             cost += cfg.congestion_weight * self._site_congestion[None, :]
+        if self._site_skew is not None:
+            # skew-aware pull: per DSP, the weighted-mean clock arrival of
+            # its neighbours is the reference; sites whose arrival strays
+            # from it are surcharged. Rows with no neighbours are skipped.
+            nbr_arr = self._skew_model.arrivals_at(
+                self.device, pts
+            ).reshape(w.shape)
+            ref = (w * nbr_arr).sum(axis=1) / np.maximum(w_sum, 1e-12)
+            pen = cfg.skew_weight * np.abs(self._site_skew[None, :] - ref[:, None])
+            cost += np.where(w_sum[:, None] > 0, pen, 0.0)
         if prev_sites is not None and cfg.eta > 0 and self._casc_row.size:
             ps = prev_sites[self._casc_partner]
             live = ps >= 0

@@ -8,15 +8,26 @@ block in the bottom-left corner with its PS→PL (top edge) and PL→PS
 """
 
 from repro.fpga.device import Device, PSBlock, Site, SiteColumn
-from repro.fpga.builders import build_device, scaled_zcu104, small_device, zcu104
+from repro.fpga.builders import (
+    FABRIC_NAMES,
+    build_device,
+    fabric_device,
+    scaled_zcu104,
+    slot_fabric,
+    small_device,
+    zcu104,
+)
 
 __all__ = [
     "Device",
     "PSBlock",
     "Site",
     "SiteColumn",
+    "FABRIC_NAMES",
     "build_device",
+    "fabric_device",
     "scaled_zcu104",
+    "slot_fabric",
     "small_device",
     "zcu104",
 ]

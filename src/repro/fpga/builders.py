@@ -1,4 +1,4 @@
-"""Device builders: the ZCU104 target and small test fabrics.
+"""Device builders: the ZCU104 target, small test fabrics, and slot fabrics.
 
 Geometry is parameterized; :func:`zcu104` instantiates an
 XCZU7EV-like fabric with the real resource totals that matter to the paper
@@ -6,12 +6,19 @@ XCZU7EV-like fabric with the real resource totals that matter to the paper
 dimensions are not public; the model preserves what DSPlacer consumes —
 column structure, relative pitches (a DSP48E2 spans 2.5 CLB rows, a BRAM36
 spans 5), and the PS block in the bottom-left corner.
+
+:func:`slot_fabric` builds the structured-ASIC-style scenario instead: a
+uniform slot grid with no PS corner, no dedicated cascade spines
+(``has_cascades=False``) and an H-tree clock network whose leaf taps sit at
+the clock-region centres. :func:`fabric_device` is the name → builder
+registry the CLI and the serve layer share.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.fpga.device import Device, PSBlock, SiteColumn
 
 #: Physical pitches (µm). Chosen so full-scale HPWL lands in the same
@@ -147,4 +154,81 @@ def scaled_zcu104(scale: float) -> Device:
         n_clb_rows=max(40, int(round(360 * f / 4.0) * 4)),
         with_ps=True,
         clock_region_shape=(2, 4),
+    )
+
+
+def slot_fabric(scale: float = 1.0) -> Device:
+    """A structured-ASIC-style slot fabric (the clock-aware scenario).
+
+    Everything that makes the ZCU104 model FPGA-shaped is stripped away:
+
+    - **uniform slot grid** — every column has the same row pitch
+      (:data:`CLB_ROW_PITCH`), so DSP and BRAM slots are just specialized
+      slots of the one grid rather than taller macro sites;
+    - **no PS corner** — the fabric is a clean rectangle;
+    - **no cascade spines** (``has_cascades=False``) — DSP→DSP cascade
+      nets are priced as ordinary routed nets by STA, with neither the
+      fixed-hop discount nor the escape penalty;
+    - **H-tree clocking** — a depth-d H-tree is synthesized over the die
+      and attached as ``device.clock_tree``; its ``4**d`` leaf taps land
+      exactly on the centres of the ``2**d × 2**d`` clock regions, so
+      ``skew_model="htree"`` picks it up without re-synthesis.
+
+    Column and row counts shrink by ``sqrt(scale)`` like
+    :func:`scaled_zcu104`; roughly every 6th column is DSP and every 12th
+    BRAM.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    from repro.clock.htree import HTreeConfig, synthesize_htree
+
+    f = float(np.sqrt(scale))
+    n_total = max(12, int(round(72 * f)))
+    n_rows = max(24, int(round(240 * f)))
+    depth = 3 if min(n_total, n_rows) >= 32 else 2
+
+    n_dsp = max(2, n_total // 6)
+    n_bram = max(1, n_total // 12)
+    kinds: list[str] = ["CLB"] * n_total
+    for i in range(n_dsp):
+        pos = int((i + 0.5) * n_total / n_dsp)
+        kinds[min(pos, n_total - 1)] = "DSP"
+    for i in range(n_bram):
+        pos = int((i + 0.25) * n_total / n_bram)
+        while pos < n_total and kinds[pos] != "CLB":
+            pos += 1
+        kinds[min(pos, n_total - 1)] = "BRAM"
+
+    ys = (np.arange(n_rows) + 0.5) * CLB_ROW_PITCH
+    columns = [
+        SiteColumn(kind=kind, col=0, x=(c + 0.5) * COLUMN_PITCH, ys=ys.copy())
+        for c, kind in enumerate(kinds)
+    ]
+    device = Device(
+        f"slot_fabric@{scale:g}",
+        n_total * COLUMN_PITCH,
+        n_rows * CLB_ROW_PITCH,
+        columns,
+        ps=None,
+        clock_region_shape=(2**depth, 2**depth),
+        has_cascades=False,
+    )
+    device.validate()
+    device.clock_tree = synthesize_htree(device, HTreeConfig(depth=depth))
+    return device
+
+
+#: fabric names :func:`fabric_device` accepts (CLI ``--fabric``, serve
+#: ``PlacementRequest.fabric``)
+FABRIC_NAMES = ("zcu104", "slot_fabric")
+
+
+def fabric_device(fabric: str, scale: float = 1.0) -> Device:
+    """Build a device by fabric name at a given scale (the shared registry)."""
+    if fabric == "zcu104":
+        return scaled_zcu104(scale)
+    if fabric == "slot_fabric":
+        return slot_fabric(scale)
+    raise ConfigurationError(
+        f"unknown fabric {fabric!r} (expected one of {FABRIC_NAMES})"
     )

@@ -85,6 +85,14 @@ class Device:
         ps: The PS block, or ``None`` for PL-only parts.
         clb_capacity: How many CLB-kind cells (LUT/FF/CARRY/LUTRAM) one CLB
             site accommodates during legalization.
+        has_cascades: Whether DSP columns carry a dedicated PCOUT→PCIN
+            cascade spine. Slot fabrics (structured-ASIC style) set this
+            False: cascade nets there are ordinary fabric routing, with
+            neither the fixed-hop discount nor the escape penalty.
+        clock_tree: Optional pre-synthesized
+            :class:`~repro.clock.ClockTree` over this fabric (the
+            ``slot_fabric`` builder attaches one with taps at clock-region
+            centres); ``None`` means skew models synthesize their own.
     """
 
     def __init__(
@@ -96,6 +104,8 @@ class Device:
         ps: PSBlock | None = None,
         clb_capacity: int = 16,
         clock_region_shape: tuple[int, int] = (1, 1),
+        has_cascades: bool = True,
+        clock_tree=None,
     ) -> None:
         self.name = name
         self.width = float(width)
@@ -104,6 +114,8 @@ class Device:
         self.ps = ps
         self.clb_capacity = int(clb_capacity)
         self.clock_region_shape = clock_region_shape
+        self.has_cascades = bool(has_cascades)
+        self.clock_tree = clock_tree
 
         self._sites: dict[str, list[Site]] = {k: [] for k in SITE_KINDS}
         self._xy: dict[str, np.ndarray] = {}
@@ -187,6 +199,30 @@ class Device:
         cx = min(int(x / self.width * ncols), ncols - 1) if self.width else 0
         cy = min(int(y / self.height * nrows), nrows - 1) if self.height else 0
         return (max(cx, 0), max(cy, 0))
+
+    def clock_regions_of(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`clock_region_of`: (col, row) index arrays.
+
+        Matches the scalar rule element-for-element, including the
+        boundaries: ``x == width`` lands in the last column (the division
+        hits ``ncols`` exactly and is clamped down), negative coordinates
+        clamp to region 0, and a degenerate zero-extent axis maps everything
+        to region 0.
+        """
+        ncols, nrows = self.clock_region_shape
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if self.width:
+            cx = np.clip((xs / self.width * ncols).astype(np.int64), 0, ncols - 1)
+        else:
+            cx = np.zeros(xs.shape, dtype=np.int64)
+        if self.height:
+            cy = np.clip((ys / self.height * nrows).astype(np.int64), 0, nrows - 1)
+        else:
+            cy = np.zeros(ys.shape, dtype=np.int64)
+        return cx, cy
 
     def validate(self) -> None:
         """Check device invariants; raise ``ValueError`` on violation."""

@@ -80,6 +80,10 @@ SERVE_SUITES = ("ismartdnn", "skynet", "skrskr1", "skrskr2", "skrskr3")
 #: the single stage gated for the serving benchmark
 SERVE_GATED_STAGES = ("serve.throughput",)
 
+#: stages gated for the slot-fabric clock workload: skew-aware STA (H-tree
+#: per-sink arrivals on the hot path) and the end-to-end skew-weighted place
+SLOT_FABRIC_GATED_STAGES = ("sta.analyze", "place")
+
 
 def workload_id(suite: str, scale: float) -> str:
     return f"{suite}@{scale:g}"
@@ -227,6 +231,62 @@ def run_serve_throughput(
     }
 
 
+def run_slot_fabric(
+    suite: str = "skynet",
+    scale: float = 0.05,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run the clock-aware slot-fabric workload and return the bench document.
+
+    Exercises the two skew hot paths on the ``slot_fabric`` device: a
+    slacks-enabled STA pass under :class:`~repro.clock.HTreeSkew` (per-sink
+    H-tree arrivals on the endpoint/backward passes) and an end-to-end
+    skew-weighted DSPlacer run (``skew_model="htree"``, ``skew_weight`` on,
+    so the assignment cost matrix prices tap-arrival mismatch).
+    """
+    from repro.accelgen import generate_suite
+    from repro.clock import get_skew_model
+    from repro.core import DSPlacer, DSPlacerConfig
+    from repro.fpga import slot_fabric
+    from repro.placers import VivadoLikePlacer
+    from repro.router.pattern_router import PatternRouter
+    from repro.timing import StaticTimingAnalyzer
+
+    dev = slot_fabric(scale)
+    netlist = generate_suite(suite, scale=scale, device=dev, seed=0)
+    place = VivadoLikePlacer(seed=0, device=dev).place(netlist)
+    routing = PatternRouter().route(place)
+    skew = get_skew_model("htree", dev)
+    sta = StaticTimingAnalyzer(netlist, skew_model=skew)
+    with obs.observe() as ob:
+        sta.analyze(place, routing, with_slacks=True)
+    # end-to-end skew-weighted place in its own block so DSPlacer's internal
+    # STA calls cannot leak into the sta.analyze aggregate
+    cfg = DSPlacerConfig(seed=seed, skew_model="htree", skew_weight=5.0)
+    with obs.observe() as ob_place:
+        DSPlacer(dev, cfg).place(netlist)
+
+    agg = aggregate_spans(ob.tracer.to_dicts())
+    agg_place = aggregate_spans(ob_place.tracer.to_dicts())
+    if "place" in agg_place:
+        agg["place"] = agg_place["place"]
+    return {
+        "kind": BENCH_KIND,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": f"slot_fabric@{scale:g}",
+        "suite": suite,
+        "scale": scale,
+        "seed": seed,
+        "skew_model": "htree",
+        "skew_weight": 5.0,
+        "htree_depth": dev.clock_tree.config.depth,
+        "n_cells": len(netlist.cells),
+        "stages": {
+            name: agg[name] for name in SLOT_FABRIC_GATED_STAGES if name in agg
+        },
+    }
+
+
 #: absolute slack added on top of the relative band — a 25% band on a
 #: millisecond-scale stage would gate pure scheduler jitter
 ABS_SLACK_S = 0.005
@@ -328,14 +388,23 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=2, help="worker pool size for --serve"
     )
+    parser.add_argument(
+        "--slot-fabric",
+        action="store_true",
+        help="run the clock-aware slot-fabric workload (H-tree skew STA + "
+        "skew-weighted place) instead of the hot-path kernels",
+    )
     args = parser.parse_args(argv)
 
     if args.scale is None:
-        args.scale = 0.05 if args.serve else 0.25
+        args.scale = 0.05 if (args.serve or args.slot_fabric) else 0.25
     if args.serve:
         doc = run_serve_throughput(scale=args.scale, workers=args.workers, seed=args.seed)
         gated = SERVE_GATED_STAGES
         print(f"placements/minute: {doc['placements_per_minute']:.2f} ({doc['n_ok']}/{doc['n_jobs']} ok)")
+    elif args.slot_fabric:
+        doc = run_slot_fabric(suite=args.suite, scale=args.scale, seed=args.seed)
+        gated = SLOT_FABRIC_GATED_STAGES
     else:
         doc = run_hotpaths(
             suite=args.suite,

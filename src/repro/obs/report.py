@@ -16,14 +16,22 @@ harness, CI, dashboards) can parse without knowing pipeline internals:
   "job":     {"id": "...", "submitted_unix": ..., "started_unix": ...,
               "finished_unix": ..., "cache": "hit|miss|bypass",
               "race": {"k": 3, "policy": "best", "winner_seed": 1,
-                       "attempts": [...], "cancelled": 0}}
+                       "attempts": [...], "cancelled": 0}},
+  "clock":   {"model": "htree", "htree": {...}, "n_sinks": 1234,
+              "worst_skew_ns": ..., "mean_abs_skew_ns": ...}
 }
 ```
 
-Schema v2 (this release) adds the optional ``job`` section the serve layer
+Schema v2 added the optional ``job`` section the serve layer
 (:mod:`repro.serve`) stamps on every response: job identity, queue
 timestamps, the cache verdict, and the portfolio-race outcome. v1 documents
 (no ``job``) remain valid; a ``job`` section requires ``schema_version >= 2``.
+
+Schema v3 (this release) adds the optional ``clock`` section
+(:func:`repro.clock.clock_report_section`): the skew-model configuration
+plus worst/mean skew over the run's sequential sinks. Runs with the default
+region-skew model omit it; a ``clock`` section requires
+``schema_version >= 3``.
 
 :func:`validate_report` is the schema checker (no external jsonschema
 dependency); ``python -m repro.obs.report FILE...`` validates saved reports
@@ -49,7 +57,7 @@ __all__ = [
     "render_trace",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 REPORT_KIND = "repro.run_report"
 
 #: cache verdicts a ``job`` section may carry
@@ -70,6 +78,8 @@ class RunReport:
     quality: dict[str, Any] = field(default_factory=dict)
     #: serve-layer job identity/timestamps/cache/race (schema v2; optional)
     job: dict[str, Any] | None = None
+    #: clock-model config + worst/mean skew (schema v3; optional)
+    clock: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ---------------------------------------------------
@@ -101,6 +111,7 @@ class RunReport:
                     + "\n".join(f"  - {p}" for p in problems)
                 )
         job = doc.get("job")
+        clock = doc.get("clock")
         return cls(
             meta=dict(doc.get("meta", {})),
             spans=list(doc.get("spans", [])),
@@ -108,6 +119,7 @@ class RunReport:
             health=dict(doc.get("health", _EMPTY_HEALTH())),
             quality=dict(doc.get("quality", {})),
             job=dict(job) if job is not None else None,
+            clock=dict(clock) if clock is not None else None,
             schema_version=int(doc.get("schema_version", SCHEMA_VERSION)),
         )
 
@@ -124,6 +136,8 @@ class RunReport:
         }
         if self.job is not None:
             doc["job"] = self.job
+        if self.clock is not None:
+            doc["clock"] = self.clock
         return doc
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -230,6 +244,29 @@ def _check_job(job: Any, version: Any, problems: list[str]) -> None:
         problems.append("job.race.cancelled must be a non-negative integer")
 
 
+def _check_clock(clock: Any, version: Any, problems: list[str]) -> None:
+    """Validate the schema-v3 ``clock`` section (optional)."""
+    if not isinstance(clock, dict):
+        problems.append(f"clock must be an object, got {type(clock).__name__}")
+        return
+    if isinstance(version, int) and version < 3:
+        problems.append("clock section requires schema_version >= 3")
+    model = clock.get("model")
+    if not isinstance(model, str) or not model:
+        problems.append("clock.model must be a non-empty string")
+    for key in ("n_sinks",):
+        v = clock.get(key)
+        if v is not None and (not isinstance(v, int) or isinstance(v, bool) or v < 0):
+            problems.append(f"clock.{key} must be a non-negative integer or absent")
+    for key in ("worst_skew_ns", "mean_abs_skew_ns", "skew_per_region_ns"):
+        v = clock.get(key)
+        if v is not None and not _is_num(v):
+            problems.append(f"clock.{key} must be a number or absent")
+    htree = clock.get("htree")
+    if htree is not None and not isinstance(htree, dict):
+        problems.append("clock.htree must be an object or absent")
+
+
 def validate_report(doc: Any) -> list[str]:
     """Check a report document against the schema; returns problems found."""
     problems: list[str] = []
@@ -296,6 +333,8 @@ def validate_report(doc: Any) -> list[str]:
 
     if "job" in doc:
         _check_job(doc["job"], version, problems)
+    if "clock" in doc:
+        _check_clock(doc["clock"], version, problems)
     return problems
 
 

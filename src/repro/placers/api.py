@@ -23,7 +23,7 @@ This module also defines the serving-first job schemas shared by
 - :class:`PlacementRequest` — one placement job description (tool, suite
   workload, seed, config overrides, portfolio-racing knobs);
 - :class:`PlacementResponse` — the typed outcome (status, cache verdict,
-  quality numbers, the schema-v2 RunReport document, and the placement
+  quality numbers, the schema-valid RunReport document, and the placement
   itself when the job ran in-process).
 
 Conforming engines:
@@ -147,6 +147,9 @@ class PlacementRequest:
     tool: str = "dsplacer"
     suite: str = "skynet"
     scale: float = 0.1
+    #: target fabric (see :data:`repro.fpga.FABRIC_NAMES`); the cache key
+    #: hashes the materialized device identity, so fabrics never collide
+    fabric: str = "zcu104"
     seed: int = 0
     netlist_seed: int | None = None  # defaults to ``seed``
     config: Mapping[str, Any] = field(default_factory=dict)
@@ -170,6 +173,12 @@ class PlacementRequest:
             raise ConfigurationError(f"race_k must be a positive int, got {self.race_k!r}")
         if not self.scale > 0:
             raise ConfigurationError(f"scale must be positive, got {self.scale!r}")
+        from repro.fpga.builders import FABRIC_NAMES
+
+        if self.fabric not in FABRIC_NAMES:
+            raise ConfigurationError(
+                f"unknown fabric {self.fabric!r} (expected one of {FABRIC_NAMES})"
+            )
 
     # -- derived views --------------------------------------------------
     @property
@@ -201,6 +210,7 @@ class PlacementRequest:
             "tool": self.tool,
             "suite": self.suite,
             "scale": float(self.scale),
+            "fabric": self.fabric,
             "seed": int(self.seed),
             "netlist_seed": self.netlist_seed,
             "config": dict(self.config),
@@ -239,6 +249,7 @@ class PlacementRequest:
             tool=getattr(args, "tool", "dsplacer"),
             suite=args.suite,
             scale=args.scale,
+            fabric=getattr(args, "fabric", "zcu104"),
             seed=args.seed,
             config=dict(config or {}),
             race_k=getattr(args, "race_k", 1),
@@ -256,7 +267,7 @@ class PlacementResponse:
     ``cache`` records how the result was produced (``"hit"`` — served from
     the content-addressed cache, ``"miss"`` — computed and inserted,
     ``"bypass"`` — caching disabled by the request). ``report`` is the full
-    schema-v2 :class:`~repro.obs.RunReport` document including the ``job``
+    schema-valid :class:`~repro.obs.RunReport` document including the ``job``
     section; ``placement`` is populated for in-process servers (it never
     crosses the wire in serialized form).
     """

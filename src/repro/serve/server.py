@@ -2,7 +2,7 @@
 
 :class:`PlacementServer` turns placement runs into *jobs*: a
 :class:`~repro.placers.api.PlacementRequest` goes in, a
-:class:`~repro.placers.api.PlacementResponse` (carrying a schema-v2
+:class:`~repro.placers.api.PlacementResponse` (carrying a schema-valid
 :class:`~repro.obs.RunReport`) comes out. Between the two sit:
 
 - a **content-addressed result cache** (:mod:`repro.serve.cache`) — a
@@ -161,7 +161,8 @@ class PlacementServer:
         start_method: ``multiprocessing`` start method; default ``fork``
             where available (cheap, inherits imports) else ``spawn``.
         device_factory: ``scale -> Device`` used when a submission doesn't
-            bring its own device; default :func:`repro.fpga.scaled_zcu104`.
+            bring its own device; default builds the request's fabric via
+            :func:`repro.fpga.fabric_device`.
         attempt_timeout_s: Hard wall-clock cap per attempt — a worker past
             it is terminated and counted as crashed. ``None`` disables.
         background: Run the scheduler pump in a daemon thread instead of
@@ -218,7 +219,7 @@ class PlacementServer:
         if self._closed:
             raise ServeError("server is closed")
         if device is None:
-            device = self._make_device(request.scale)
+            device = self._make_device(request.scale, request.fabric)
         if netlist is None:
             from repro.accelgen import generate_suite
 
@@ -647,9 +648,9 @@ class PlacementServer:
         job._event.set()
 
     # -- helpers --------------------------------------------------------
-    def _make_device(self, scale: float) -> Any:
+    def _make_device(self, scale: float, fabric: str = "zcu104") -> Any:
         if self._device_factory is not None:
             return self._device_factory(scale)
-        from repro.fpga import scaled_zcu104
+        from repro.fpga import fabric_device
 
-        return scaled_zcu104(scale)
+        return fabric_device(fabric, scale)

@@ -14,8 +14,10 @@ legal cascades are therefore exactly what closes timing.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.netlist.cell import CellType
 
 #: cell kinds that begin/end timing paths (registered elements + pads)
@@ -61,6 +63,36 @@ class DelayModel:
     #: path's launch register and its capture register — the UltraScale+
     #: clock network is balanced within a region, skewed across regions
     clock_skew_per_region: float = 0.03
+
+    def __post_init__(self) -> None:
+        """Reject physically meaningless constants at construction.
+
+        Negative propagation/clk-to-q/setup times, wire delays, cascade
+        costs or skew were silently accepted before and produced quietly
+        wrong slacks downstream; now they raise a
+        :class:`~repro.errors.ConfigurationError` naming the knob.
+        """
+        for family in ("prop", "clk_to_q", "setup"):
+            table = getattr(self, family)
+            for ctype, v in table.items():
+                if not math.isfinite(v) or v < 0.0:
+                    raise ConfigurationError(
+                        f"DelayModel.{family}[{getattr(ctype, 'value', ctype)}] "
+                        f"must be a finite non-negative delay (ns), got {v!r}"
+                    )
+        for name in (
+            "net_base",
+            "net_per_um",
+            "cascade_fixed",
+            "cascade_escape_penalty",
+            "clock_skew_per_region",
+        ):
+            v = getattr(self, name)
+            if not math.isfinite(v) or v < 0.0:
+                raise ConfigurationError(
+                    f"DelayModel.{name} must be a finite non-negative number, "
+                    f"got {v!r}"
+                )
 
     def is_sequential(self, ctype: CellType) -> bool:
         return ctype in SEQUENTIAL_KINDS

@@ -12,7 +12,19 @@ distances, detour gathers, and cascade-adjacency flags are computed once per
 placement; per-level maxima via ``np.maximum.reduceat`` segment reductions),
 and ``method="reference"`` is the original per-cell Python loop kept as the
 equivalence-test oracle. Both produce identical reports to the last bit —
-pinned by hypothesis tests in ``tests/test_sta_vectorized.py``.
+pinned by hypothesis tests in ``tests/test_sta_vectorized.py`` and
+``tests/test_clock_skew_sta.py``.
+
+Clock skew is delegated to a :class:`~repro.clock.SkewModel`: every setup
+check's data arrival picks up ``model.arrival_penalty(placement, launch,
+capture)``. The default (``skew_model=None``) is
+:class:`~repro.clock.RegionSkew` built from
+``delay_model.clock_skew_per_region`` — bitwise-identical to the historical
+inline Chebyshev region-step formula — while :class:`~repro.clock.HTreeSkew`
+charges the signed per-sink arrival difference of a synthesized clock tree
+and :class:`~repro.clock.ZeroSkew` charges nothing. Devices with
+``has_cascades=False`` (slot fabrics) have no dedicated cascade spine, so
+cascade edges there are priced as ordinary fabric nets.
 """
 
 from __future__ import annotations
@@ -85,12 +97,18 @@ class StaticTimingAnalyzer:
         netlist: Netlist,
         delay_model: DelayModel | None = None,
         method: str = "vectorized",
+        skew_model=None,
     ) -> None:
         if method not in ("vectorized", "reference"):
             raise ValueError(f"unknown STA method {method!r}")
         self.netlist = netlist
         self.dm = delay_model or DelayModel()
         self.method = method
+        if skew_model is None:
+            from repro.clock.skew import RegionSkew
+
+            skew_model = RegionSkew(self.dm.clock_skew_per_region)
+        self.skew = skew_model
         self._cascade_pairs = set(netlist.cascade_pairs())
         self._seq = np.array([self.dm.is_sequential(c.ctype) for c in netlist.cells])
 
@@ -258,7 +276,9 @@ class StaticTimingAnalyzer:
         dm = self.dm
         delay = dm.net_base + dm.net_per_um * dist * det
         ci = self._casc_idx
-        if ci.size:
+        # devices without a dedicated cascade spine (slot fabrics) price
+        # cascade nets as ordinary fabric routing
+        if ci.size and getattr(placement.device, "has_cascades", True):
             adjacent = self.cascade_adjacent(placement)
             delay[ci] = np.where(
                 adjacent, dm.cascade_fixed, dm.cascade_escape_penalty + delay[ci]
@@ -277,7 +297,9 @@ class StaticTimingAnalyzer:
         dxy = placement.xy[src] - placement.xy[dst]
         dist = abs(float(dxy[0])) + abs(float(dxy[1]))
         det = float(detour[net_id]) if detour is not None else 1.0
-        if (src, dst) in self._cascade_pairs:
+        if (src, dst) in self._cascade_pairs and getattr(
+            placement.device, "has_cascades", True
+        ):
             site_s = int(placement.site[src])
             site_d = int(placement.site[dst])
             adjacent = (
@@ -303,7 +325,9 @@ class StaticTimingAnalyzer:
         (min over all downstream endpoints), which timing-driven placement
         uses for net criticality weighting.
         """
-        with trace.span("sta.analyze", with_slacks=with_slacks, method=self.method) as sp:
+        with trace.span(
+            "sta.analyze", with_slacks=with_slacks, method=self.method, skew=self.skew.name
+        ) as sp:
             if self.method == "vectorized":
                 report = self._analyze_vectorized(placement, routing, period_ns, with_slacks)
             else:
@@ -324,16 +348,16 @@ class StaticTimingAnalyzer:
             period_ns = 1e3 / self.netlist.target_freq_mhz
         return period_ns
 
-    def _regions(self, placement: Placement) -> tuple[np.ndarray, np.ndarray]:
-        dev = placement.device
-        ncx, ncy = dev.clock_region_shape
-        region_x = np.clip(
-            (placement.xy[:, 0] / max(dev.width, 1e-9) * ncx).astype(np.int64), 0, ncx - 1
+    def _skew_penalty_scalar(
+        self, placement: Placement, launch_cell: int, capture_cell: int
+    ) -> float:
+        """One (launch, capture) skew charge — the reference engine's view."""
+        p = self.skew.arrival_penalty(
+            placement,
+            np.array([launch_cell], dtype=np.int64),
+            np.array([capture_cell], dtype=np.int64),
         )
-        region_y = np.clip(
-            (placement.xy[:, 1] / max(dev.height, 1e-9) * ncy).astype(np.int64), 0, ncy - 1
-        )
-        return region_x, region_y
+        return float(p[0]) if isinstance(p, np.ndarray) else float(p)
 
     @staticmethod
     def _segment_max_first(vals: np.ndarray, starts: np.ndarray):
@@ -357,11 +381,9 @@ class StaticTimingAnalyzer:
         nl = self.netlist
         period_ns = self._resolve_period(period_ns)
         detour = routing.net_detour if routing is not None else None
-        dm = self.dm
         n = len(nl.cells)
         es, ed = self._e_src, self._e_dst
         delay = self._edge_delays(placement, detour)
-        region_x, region_y = self._regions(placement)
 
         arrival = np.zeros(n)
         arrival[self._seq] = self._clk2q_arr[self._seq]
@@ -387,13 +409,8 @@ class StaticTimingAnalyzer:
         skew_term: np.ndarray | float = 0.0
         if ee.size:
             a = arrival[es[ee]] + delay[ee]
-            if dm.clock_skew_per_region:
-                lv = launch[es[ee]]
-                cheb = np.maximum(
-                    np.abs(region_x[lv] - region_x[ed[ee]]),
-                    np.abs(region_y[lv] - region_y[ed[ee]]),
-                )
-                skew_term = dm.clock_skew_per_region * cheb
+            skew_term = self.skew.arrival_penalty(placement, launch[es[ee]], ed[ee])
+            if isinstance(skew_term, np.ndarray) or skew_term:
                 a = a + skew_term
             worst, first = self._segment_max_first(a, self._end_starts)
             ends = self._end_dst
@@ -429,7 +446,7 @@ class StaticTimingAnalyzer:
             required = np.full(n, np.inf)
             if ee.size:
                 r = (period_ns - self._setup_arr[ed[ee]]) - delay[ee]
-                if dm.clock_skew_per_region:
+                if isinstance(skew_term, np.ndarray) or skew_term:
                     r = r - skew_term
                 np.minimum.at(required, es[ee], r)
             be, bstarts = self._bwd_e, self._bwd_starts
@@ -481,9 +498,6 @@ class StaticTimingAnalyzer:
         n = len(nl.cells)
         arrival = np.zeros(n)
         best_pred = np.full(n, -1, dtype=np.int64)
-        # clock region of each cell and, along worst paths, of the launch
-        # register (for the cross-region skew charge)
-        region_x, region_y = self._regions(placement)
         launch = np.arange(n, dtype=np.int64)  # launch register of worst path
         for u in range(n):
             if self._seq[u]:
@@ -513,12 +527,7 @@ class StaticTimingAnalyzer:
             wpred = -1
             for v, nid in self._fanin[u]:
                 a = arrival[v] + self._edge_delay(v, u, nid, placement, detour)
-                if dm.clock_skew_per_region:
-                    lv = int(launch[v])
-                    a += dm.clock_skew_per_region * max(
-                        abs(int(region_x[lv]) - int(region_x[u])),
-                        abs(int(region_y[lv]) - int(region_y[u])),
-                    )
+                a += self._skew_penalty_scalar(placement, int(launch[v]), u)
                 if worst is None or a > worst:
                     worst = a
                     wpred = v
@@ -558,12 +567,7 @@ class StaticTimingAnalyzer:
                         - dm.setup[nl.cells[u].ctype]
                         - self._edge_delay(v, u, nid, placement, detour)
                     )
-                    if dm.clock_skew_per_region:
-                        lv = int(launch[v])
-                        r -= dm.clock_skew_per_region * max(
-                            abs(int(region_x[lv]) - int(region_x[u])),
-                            abs(int(region_y[lv]) - int(region_y[u])),
-                        )
+                    r -= self._skew_penalty_scalar(placement, int(launch[v]), u)
                     required[v] = min(required[v], r)
             for u in reversed(self._topo):
                 for w, nid in self._fanout[u]:

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.obs import RunReport, validate_report
+from repro.obs import SCHEMA_VERSION, RunReport, validate_report
 
 
 class TestParser:
@@ -146,7 +146,7 @@ class TestServeSubcommand:
         reports = list(report_dir.glob("*.json"))
         assert len(reports) == 1
         doc = json.loads(reports[0].read_text())
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == SCHEMA_VERSION
         assert validate_report(doc) == []
         assert doc["job"]["id"] == "job-0001"
 

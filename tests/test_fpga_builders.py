@@ -1,8 +1,18 @@
 """Unit tests for device builders."""
 
+import numpy as np
 import pytest
 
-from repro.fpga import build_device, scaled_zcu104, small_device, zcu104
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    FABRIC_NAMES,
+    build_device,
+    fabric_device,
+    scaled_zcu104,
+    slot_fabric,
+    small_device,
+    zcu104,
+)
 
 
 class TestZCU104:
@@ -72,3 +82,66 @@ class TestBuildDevice:
     def test_width_matches_columns(self):
         dev = build_device("t", n_clb_cols=6, n_dsp_cols=2, n_bram_cols=1, n_clb_rows=40)
         assert dev.width == pytest.approx((6 + 2 + 1) * 60.0)
+
+
+class TestSlotFabric:
+    @pytest.fixture(scope="class")
+    def dev(self):
+        return slot_fabric(0.05)
+
+    def test_no_ps_no_cascades(self, dev):
+        assert dev.ps is None
+        assert dev.has_cascades is False
+
+    def test_uniform_slot_grid(self, dev):
+        # every column carries the same row count at the same pitch
+        rows = {c.n_sites for c in dev.columns}
+        assert len(rows) == 1
+        ys = {tuple(np.round(c.ys, 9)) for c in dev.columns}
+        assert len(ys) == 1
+
+    def test_all_kinds_present(self, dev):
+        assert dev.n_sites("CLB") > 0
+        assert dev.n_sites("DSP") > 0
+        assert dev.n_sites("BRAM") > 0
+
+    def test_clock_tree_attached_and_square_regions(self, dev):
+        ncx, ncy = dev.clock_region_shape
+        assert ncx == ncy and ncx in (4, 8)
+        assert dev.clock_tree is not None
+        assert dev.clock_tree.n_taps == ncx * ncy
+
+    def test_validates_at_scales(self):
+        for scale in (0.05, 0.25, 1.0):
+            slot_fabric(scale).validate()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            slot_fabric(0.0)
+        with pytest.raises(ValueError, match="scale"):
+            slot_fabric(1.5)
+
+    def test_deterministic(self):
+        a, b = slot_fabric(0.1), slot_fabric(0.1)
+        assert a.n_dsp == b.n_dsp
+        np.testing.assert_array_equal(a.site_xy("DSP"), b.site_xy("DSP"))
+        np.testing.assert_array_equal(a.clock_tree.taps, b.clock_tree.taps)
+
+
+class TestFabricRegistry:
+    def test_names(self):
+        assert "zcu104" in FABRIC_NAMES and "slot_fabric" in FABRIC_NAMES
+
+    def test_zcu104_route(self):
+        dev = fabric_device("zcu104", 0.05)
+        assert dev.name == "zcu104@0.05"
+        assert dev.has_cascades is True
+
+    def test_slot_fabric_route(self):
+        dev = fabric_device("slot_fabric", 0.05)
+        assert dev.name == "slot_fabric@0.05"
+        assert dev.has_cascades is False
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="fabric"):
+            fabric_device("banana", 0.1)

@@ -61,6 +61,37 @@ class TestQueries:
         ncx, ncy = small_dev.clock_region_shape
         assert (cx, cy) == (ncx - 1, ncy - 1)
 
+    def test_clock_regions_of_matches_scalar(self, small_dev, rng):
+        xs = rng.uniform(-20.0, small_dev.width + 20.0, 200)
+        ys = rng.uniform(-20.0, small_dev.height + 20.0, 200)
+        cx, cy = small_dev.clock_regions_of(xs, ys)
+        for i in range(xs.size):
+            assert (int(cx[i]), int(cy[i])) == small_dev.clock_region_of(
+                float(xs[i]), float(ys[i])
+            )
+
+    def test_clock_regions_of_boundaries(self, small_dev):
+        ncx, ncy = small_dev.clock_region_shape
+        w, h = small_dev.width, small_dev.height
+        xs = np.array([0.0, w, w + 5.0, -3.0, w / 2.0])
+        ys = np.array([0.0, h, h + 5.0, -3.0, h / 2.0])
+        cx, cy = small_dev.clock_regions_of(xs, ys)
+        # x == width lands in (and overshoots clamp to) the last region
+        assert cx[1] == ncx - 1 and cy[1] == ncy - 1
+        assert cx[2] == ncx - 1 and cy[2] == ncy - 1
+        # negative coordinates clamp to region 0
+        assert cx[3] == 0 and cy[3] == 0
+        assert cx[0] == 0 and cy[0] == 0
+        assert cx.dtype == np.int64 and cy.dtype == np.int64
+
+    def test_clock_regions_of_empty(self, small_dev):
+        cx, cy = small_dev.clock_regions_of(np.zeros(0), np.zeros(0))
+        assert cx.size == 0 and cy.size == 0
+
+    def test_has_cascades_default(self, small_dev):
+        assert small_dev.has_cascades is True
+        assert small_dev.clock_tree is None
+
     def test_validate_passes(self, small_dev):
         small_dev.validate()
 

@@ -67,6 +67,16 @@ def _job_section() -> dict:
     }
 
 
+def _clock_section() -> dict:
+    return {
+        "model": "htree",
+        "htree": {"depth": 2, "n_taps": 16, "total_wire_um": 4000.0},
+        "n_sinks": 128,
+        "worst_skew_ns": 0.093,
+        "mean_abs_skew_ns": 0.041,
+    }
+
+
 class TestValidation:
     def test_valid_document(self):
         assert validate_report(_sample_doc()) == []
@@ -133,6 +143,42 @@ class TestValidation:
         problems = validate_report(doc)
         assert any("schema_version >= 2" in p for p in problems)
 
+    def test_valid_clock_section(self):
+        doc = _sample_doc()
+        doc["clock"] = _clock_section()
+        assert validate_report(doc) == []
+
+    def test_clock_section_requires_v3(self):
+        doc = _sample_doc()
+        doc["schema_version"] = 2
+        doc["clock"] = _clock_section()
+        problems = validate_report(doc)
+        assert any("schema_version >= 3" in p for p in problems)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(clock=[]),
+            lambda d: d["clock"].pop("model"),
+            lambda d: d["clock"].update(model=""),
+            lambda d: d["clock"].update(n_sinks=-1),
+            lambda d: d["clock"].update(n_sinks=2.5),
+            lambda d: d["clock"].update(worst_skew_ns="big"),
+            lambda d: d["clock"].update(mean_abs_skew_ns=True),
+            lambda d: d["clock"].update(htree="deep"),
+        ],
+    )
+    def test_broken_clock_sections_rejected(self, mutate):
+        doc = _sample_doc()
+        doc["clock"] = _clock_section()
+        mutate(doc)
+        assert validate_report(doc) != []
+
+    def test_clock_section_config_only_is_valid(self):
+        doc = _sample_doc()
+        doc["clock"] = {"model": "region", "skew_per_region_ns": 0.03}
+        assert validate_report(doc) == []
+
     def test_v1_documents_stay_valid(self):
         doc = _sample_doc()
         doc["schema_version"] = 1
@@ -163,6 +209,15 @@ class TestRoundTrip:
         assert rep.to_dict()["job"]["race"]["winner_seed"] == 1
         # a job-less report omits the key entirely
         assert "job" not in RunReport.from_dict(_sample_doc()).to_dict()
+
+    def test_clock_section_round_trips(self):
+        doc = _sample_doc()
+        doc["clock"] = _clock_section()
+        rep = RunReport.from_dict(doc)
+        assert rep.clock["model"] == "htree"
+        assert rep.to_dict()["clock"]["htree"]["depth"] == 2
+        # a clock-less report omits the key entirely
+        assert "clock" not in RunReport.from_dict(_sample_doc()).to_dict()
 
     def test_stage_seconds_and_aggregate(self):
         rep = RunReport.from_dict(_sample_doc())
@@ -205,6 +260,24 @@ class TestObservedFlow:
         # the report survives a JSON round-trip
         again = RunReport.from_dict(json.loads(rep.to_json()))
         assert again.span_names() == names
+
+    def test_skewed_run_attaches_clock_section(self, mini_accel):
+        from repro.core import DSPlacerConfig
+        from repro.fpga import slot_fabric
+
+        dev = slot_fabric(0.05)
+        cfg = DSPlacerConfig(skew_model="htree", outer_iterations=1)
+        with obs.observe() as ob:
+            result = DSPlacer(dev, cfg).place(mini_accel)
+        rep = result.report
+        assert rep is not None and rep.clock is not None
+        assert rep.clock["model"] == "htree"
+        assert rep.clock["n_sinks"] > 0
+        assert validate_report(rep.to_dict()) == []
+        # the default configuration keeps reports clock-less
+        with obs.observe() as ob:
+            plain = DSPlacer(dev).place(mini_accel)
+        assert plain.report.clock is None
 
     def test_unobserved_result_synthesizes_report(self, small_dev, mini_accel):
         result = DSPlacer(small_dev).place(mini_accel)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import JobCancelledError, ServeError
-from repro.obs import validate_report
+from repro.obs import SCHEMA_VERSION, validate_report
 from repro.placers.api import PlacementRequest
 from repro.serve import (
     CacheEntry,
@@ -113,12 +113,12 @@ class TestJobLifecycle:
         assert (hot.placement.xy == cold.placement.xy).all()
         assert (hot.placement.site == cold.placement.site).all()
 
-    def test_reports_are_schema_v2(self, server, small_dev, mini_accel):
+    def test_reports_carry_current_schema(self, server, small_dev, mini_accel):
         resp = server.submit(
             fast_request(), netlist=mini_accel, device=small_dev
         ).result(timeout=120)
         report = resp.report
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == SCHEMA_VERSION
         assert validate_report(report) == []
         job = report["job"]
         assert job["id"] == resp.job_id and job["cache"] == "miss"
