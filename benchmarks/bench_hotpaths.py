@@ -3,9 +3,11 @@
 Unlike the figure/table benches, this one reproduces no paper artifact: it
 guards the flow's measured hot paths — the linearized MCF assignment
 iterate, the extraction kernels (feature centralities, DSP path search,
-DSP-graph build), and the outer-flow kernels (pattern ``router.route``,
+DSP-graph build), the outer-flow kernels (pattern ``router.route``,
 ``sta.analyze`` incl. the backward slack pass, and the end-to-end
-``place`` span) — against wall-clock regressions. The
+``place`` span), and the analytical-placer core (B2B
+``global_place.solve`` and the greedy ``refine`` pass at the pinned
+passes=4 / n_candidates=16 protocol) — against wall-clock regressions. The
 workload protocol lives in :mod:`repro.obs.bench`; the committed baseline
 at the repo root records the expected per-stage timings (plus the
 pre-vectorization reference measurements, see ``docs/PERFORMANCE.md``).

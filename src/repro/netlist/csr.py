@@ -25,6 +25,11 @@ import scipy.sparse as sp
 from repro.netlist.netlist import Netlist
 
 
+#: Site-family order of the per-cell ``site_code`` array.
+SITE_KIND_CODES = ("CLB", "DSP", "BRAM", "FIXED")
+_SITE_CODE = {k: i for i, k in enumerate(SITE_KIND_CODES)}
+
+
 def _binary_csr(rows: np.ndarray, cols: np.ndarray, n: int) -> sp.csr_matrix:
     a = sp.coo_matrix(
         (np.ones(len(rows), dtype=np.float64), (rows, cols)), shape=(n, n)
@@ -46,11 +51,19 @@ class NetlistCSR:
             ``netlist_to_digraph`` convention: parallel edges collapse).
         dsp_indices: Sorted cell indices of DSP cells.
         is_dsp / is_storage: Per-cell boolean masks.
+        is_fixed: Per-cell ``Cell.is_fixed`` mask (has a device-pinned xy).
+        site_code: Per-cell site-family code, index into
+            :data:`SITE_KIND_CODES` (``("CLB", "DSP", "BRAM", "FIXED")``).
         net_driver: Per-net driver cell index.
         net_nsinks: Per-net sink count (fanout).
         sink_flat: All net sinks concatenated in net order.
         sink_net: Owning net index per ``sink_flat`` entry.
         sink_indptr: CSR-style per-net offsets into ``sink_flat``.
+        pin_cell: All net pins (driver first, then sinks) concatenated in
+            net order — the flattened pin list HPWL and the B2B net model
+            operate on.
+        pin_ptr: CSR-style per-net offsets into ``pin_cell``.
+        pin_net: Owning net index per ``pin_cell`` entry.
     """
 
     n: int
@@ -62,11 +75,16 @@ class NetlistCSR:
     dsp_indices: np.ndarray
     is_dsp: np.ndarray
     is_storage: np.ndarray
+    is_fixed: np.ndarray
+    site_code: np.ndarray
     net_driver: np.ndarray
     net_nsinks: np.ndarray
     sink_flat: np.ndarray
     sink_net: np.ndarray
     sink_indptr: np.ndarray
+    pin_cell: np.ndarray
+    pin_ptr: np.ndarray
+    pin_net: np.ndarray
     _fanout_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
@@ -116,6 +134,16 @@ def build_csr(netlist: Netlist) -> NetlistCSR:
     sink_indptr = np.zeros(n_nets + 1, dtype=np.int64)
     np.cumsum(net_nsinks, out=sink_indptr[1:])
 
+    net_npins = net_nsinks + 1  # driver-first pin layout
+    pin_ptr = np.zeros(n_nets + 1, dtype=np.int64)
+    np.cumsum(net_npins, out=pin_ptr[1:])
+    pin_cell = np.empty(int(pin_ptr[-1]), dtype=np.int64)
+    pin_cell[pin_ptr[:-1]] = net_driver
+    sink_slots = np.ones(int(pin_ptr[-1]), dtype=bool)
+    sink_slots[pin_ptr[:-1]] = False
+    pin_cell[sink_slots] = sink_flat
+    pin_net = np.repeat(np.arange(n_nets, dtype=np.int64), net_npins)
+
     directed = _binary_csr(net_driver[sink_net], sink_flat, n)
     undirected = (directed + directed.T).tocsr()
     undirected.data[:] = 1.0
@@ -123,6 +151,10 @@ def build_csr(netlist: Netlist) -> NetlistCSR:
     is_dsp = np.fromiter((c.ctype.is_dsp for c in netlist.cells), dtype=bool, count=n)
     is_storage = np.fromiter(
         (c.ctype.is_storage for c in netlist.cells), dtype=bool, count=n
+    )
+    is_fixed = np.fromiter((c.is_fixed for c in netlist.cells), dtype=bool, count=n)
+    site_code = np.fromiter(
+        (_SITE_CODE[c.ctype.site_kind] for c in netlist.cells), dtype=np.int8, count=n
     )
     return NetlistCSR(
         n=n,
@@ -134,11 +166,16 @@ def build_csr(netlist: Netlist) -> NetlistCSR:
         dsp_indices=np.flatnonzero(is_dsp),
         is_dsp=is_dsp,
         is_storage=is_storage,
+        is_fixed=is_fixed,
+        site_code=site_code,
         net_driver=net_driver,
         net_nsinks=net_nsinks,
         sink_flat=sink_flat,
         sink_net=sink_net,
         sink_indptr=sink_indptr,
+        pin_cell=pin_cell,
+        pin_ptr=pin_ptr,
+        pin_net=pin_net,
     )
 
 

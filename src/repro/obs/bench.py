@@ -1,9 +1,10 @@
 """Hot-path perf-regression harness (``BENCH_hotpaths.json``).
 
 The DSP assignment loop, the extraction kernels (feature centralities,
-DSP path search, DSP-graph build), and the outer-flow kernels (pattern
-routing, STA, end-to-end ``place``) are the flow's measured hot paths (see
-``docs/PERFORMANCE.md``). This module runs them under an
+DSP path search, DSP-graph build), the outer-flow kernels (pattern
+routing, STA, end-to-end ``place``), and the analytical-placer core
+(``global_place.solve``, greedy ``refine``) are the flow's measured hot
+paths (see ``docs/PERFORMANCE.md``). This module runs them under an
 :func:`repro.obs.observe` block on a pinned, fully deterministic workload
 (fixed suite/scale/seeds, fixed iteration cap) and folds the resulting
 spans into a small JSON document:
@@ -56,6 +57,8 @@ HOTPATH_STAGES = (
     "router.route",
     "sta.analyze",
     "place",
+    "global_place.solve",
+    "refine",
 )
 
 #: stages measured in their own observed blocks so spans emitted inside the
@@ -72,6 +75,8 @@ GATED_STAGES = (
     "router.route",
     "sta.analyze",
     "place",
+    "global_place.solve",
+    "refine",
 )
 
 #: the five Table I suites the serve-throughput benchmark sweeps
@@ -151,6 +156,20 @@ def run_hotpaths(
     # above, and those inner spans must not leak into the kernel aggregates
     with obs.observe() as ob_place:
         DSPlacer(dev, DSPlacerConfig(seed=seed)).place(netlist)
+    # analytical-placer core in its own block, at the pinned protocol the
+    # loop-reference baselines were measured with (B2B global place — one
+    # solve span per iteration — then legalize + the greedy refiner); the
+    # end-to-end place above re-enters refine and must not leak into it
+    from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
+    from repro.placers.detailed import refine_sites
+    from repro.placers.legalizer import Legalizer
+
+    with obs.observe() as ob_core:
+        core_place = QuadraticGlobalPlacer(
+            GlobalPlaceConfig(net_model="b2b", seed=seed)
+        ).place(netlist, dev)
+        Legalizer(dev).legalize(core_place)
+        refine_sites(core_place, passes=4, n_candidates=16, seed=seed)
 
     agg = aggregate_spans(ob.tracer.to_dicts())
     agg_outer = aggregate_spans(ob_outer.tracer.to_dicts())
@@ -158,6 +177,10 @@ def run_hotpaths(
     agg_place = aggregate_spans(ob_place.tracer.to_dicts())
     if "place" in agg_place:
         agg["place"] = agg_place["place"]
+    agg_core = aggregate_spans(ob_core.tracer.to_dicts())
+    agg.update(
+        (k, agg_core[k]) for k in ("global_place.solve", "refine") if k in agg_core
+    )
     return {
         "kind": BENCH_KIND,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -170,6 +193,7 @@ def run_hotpaths(
         "n_cells": len(netlist.cells),
         "n_datapath_dsps": len(dsps),
         "iterates": iterates,
+        "core_protocol": {"net_model": "b2b", "refine_passes": 4, "refine_candidates": 16},
         "stages": {
             name: agg[name] for name in HOTPATH_STAGES if name in agg
         },

@@ -24,9 +24,11 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.fpga.device import Device
+from repro.netlist.csr import get_csr
 from repro.netlist.graph import connectivity_matrix
 from repro.netlist.netlist import Netlist
 from repro.obs import metrics, trace
+from repro.placers.b2b import b2b_adjacency
 from repro.placers.placement import Placement
 
 #: Approximate site area demand per cell kind, in CLB-cell units.
@@ -54,6 +56,15 @@ class GlobalPlaceConfig:
     #: "vectorized" (grouped equalization over all slabs at once) or
     #: "reference" (per-slab Python loop, the equivalence-test oracle)
     spread_method: str = "vectorized"
+    #: Wirelength model: "clique" (fixed connectivity Laplacian, built
+    #: once) or "b2b" (Bound2Bound — rebuilt from current positions before
+    #: every solve; the first solve bootstraps from the clique model since
+    #: all movable cells start collapsed at the fabric centre).
+    net_model: str = "clique"
+    #: B2B assembly engine: "vectorized" or "reference" (per-net loop).
+    b2b_method: str = "vectorized"
+    #: B2B pin-distance clamp (µm) — collapsed pins keep finite springs.
+    b2b_eps: float = 1.0
     seed: int = 0
 
 
@@ -64,6 +75,10 @@ class QuadraticGlobalPlacer:
         self.config = config or GlobalPlaceConfig()
         if self.config.spread_method not in ("vectorized", "reference"):
             raise ValueError(f"unknown spread_method {self.config.spread_method!r}")
+        if self.config.net_model not in ("clique", "b2b"):
+            raise ValueError(f"unknown net_model {self.config.net_model!r}")
+        if self.config.b2b_method not in ("vectorized", "reference"):
+            raise ValueError(f"unknown b2b_method {self.config.b2b_method!r}")
 
     # ------------------------------------------------------------------
     def place(
@@ -137,12 +152,69 @@ class QuadraticGlobalPlacer:
             sol_y, _ = spla.cg(a, rhs_y, x0=y0, rtol=cfg.cg_rtol, maxiter=cfg.cg_maxiter, M=m)
             return np.column_stack([sol_x, sol_y])
 
-        pos = _solve(0.0, None)
+        use_b2b = cfg.net_model == "b2b"
+        if use_b2b:
+            ctx = get_csr(netlist)
+            if cfg.use_net_weights:
+                net_w = np.fromiter(
+                    (net.weight for net in netlist.nets),
+                    dtype=np.float64,
+                    count=len(netlist.nets),
+                )
+            else:
+                net_w = np.ones(len(netlist.nets), dtype=np.float64)
+
+        def _solve_b2b(
+            alpha: float, target: np.ndarray, xy_cur: np.ndarray
+        ) -> np.ndarray:
+            sols = []
+            for axis in (0, 1):
+                adj = b2b_adjacency(
+                    ctx.pin_cell,
+                    ctx.pin_ptr,
+                    ctx.pin_net,
+                    xy_cur[:, axis],
+                    net_w,
+                    n,
+                    eps=cfg.b2b_eps,
+                    method=cfg.b2b_method,
+                )
+                deg = np.asarray(adj.sum(axis=1)).ravel()
+                lap_ax = sp.diags(deg) - adj
+                a = lap_ax[mov][:, mov].tocsr() + sp.diags(
+                    np.full(mov.size, alpha + 1e-9)
+                )
+                rhs = adj[mov][:, fix].tocsr() @ xy_f[:, axis] + alpha * target[:, axis]
+                m = sp.diags(1.0 / np.maximum(a.diagonal(), 1e-12))
+                sol, _ = spla.cg(
+                    a,
+                    rhs,
+                    x0=xy_cur[mov, axis],
+                    rtol=cfg.cg_rtol,
+                    maxiter=cfg.cg_maxiter,
+                    M=m,
+                )
+                sols.append(sol)
+            return np.column_stack(sols)
+
+        # bootstrap solve: always the clique model (B2B has no gradients while
+        # every movable cell still sits collapsed at the fabric centre)
+        with trace.span("global_place.solve", net_model="clique", bootstrap=True):
+            pos = _solve(0.0, None)
         pos += rng.normal(scale=1.0, size=pos.shape)
         alpha = cfg.anchor_weight
         for _ in range(cfg.n_iterations):
             spread = self._spread(pos, areas, device)
-            pos = _solve(alpha, spread)
+            if use_b2b:
+                xy_cur = place.xy.copy()
+                xy_cur[mov] = pos
+                with trace.span(
+                    "global_place.solve", net_model="b2b", method=cfg.b2b_method
+                ):
+                    pos = _solve_b2b(alpha, spread, xy_cur)
+            else:
+                with trace.span("global_place.solve", net_model="clique"):
+                    pos = _solve(alpha, spread)
             alpha *= cfg.anchor_growth
         pos = self._spread(pos, areas, device)
         place.xy[mov] = pos

@@ -13,6 +13,13 @@ Handles the three site families separately:
 Cells outside ``movable_mask`` keep their existing site assignments and
 block those sites — this is what lets DSPlacer freeze its datapath DSPs
 while the rest of the design is re-legalized around them (paper Fig. 6).
+
+Two engines (PR-6 style): ``method="vectorized"`` (default) batches the
+nearest-site queries for all single DSP/BRAM cells into one distance
+matrix and scans CLB rows with array reductions; ``method="reference"``
+is the original per-cell loop kept as the equivalence-test oracle. Both
+produce identical site assignments — the greedy order, tie-breaking, and
+escalation sequences are replicated exactly.
 """
 
 from __future__ import annotations
@@ -26,10 +33,19 @@ from repro.placers.placement import Placement
 
 
 class Legalizer:
-    """Legalizes placements on a fixed device."""
+    """Legalizes placements on a fixed device.
 
-    def __init__(self, device: Device) -> None:
+    Args:
+        device: Target device.
+        method: ``"vectorized"`` (default) or ``"reference"`` — the
+            original per-cell loops, kept for equivalence testing.
+    """
+
+    def __init__(self, device: Device, method: str = "vectorized") -> None:
+        if method not in ("vectorized", "reference"):
+            raise ValueError(f"unknown legalizer method {method!r}")
         self.device = device
+        self.method = method
 
     # ------------------------------------------------------------------
     def legalize(self, placement: Placement, movable_mask: np.ndarray | None = None) -> Placement:
@@ -38,7 +54,7 @@ class Legalizer:
         if movable_mask is None:
             movable_mask = np.array([not c.is_fixed for c in nl.cells])
         movable_mask = np.asarray(movable_mask, dtype=bool)
-        with trace.span("legalize"):
+        with trace.span("legalize", method=self.method):
             metrics.inc("legalize.passes")
             self.legalize_dsps(placement, movable_mask)
             self.legalize_brams(placement, movable_mask)
@@ -75,9 +91,15 @@ class Legalizer:
                     )
                 continue  # fully locked macro keeps its sites
             todo_macros.append(macro)
+        # hoisted per-column gathers, shared by every macro placement
+        cols = dev.kind_columns("DSP")
+        col_ids = [
+            np.asarray(dev.column_site_ids("DSP", c), dtype=np.int64)
+            for c in range(len(cols))
+        ]
         try:
             for macro in todo_macros:
-                self._place_macro(placement, occupied, macro.dsps)
+                self._place_macro(placement, occupied, macro.dsps, cols, col_ids)
         except ValueError:
             # high utilization + fragmentation: restart with dense packing
             for macro in todo_macros:
@@ -89,22 +111,24 @@ class Legalizer:
         singles = [c.index for c in movable if c.index not in in_macro]
         # bottom-up for deterministic packing
         singles.sort(key=lambda i: (placement.xy[i, 1], placement.xy[i, 0]))
-        for idx in singles:
-            sid = self._nearest_free("DSP", placement.xy[idx], occupied)
-            occupied[sid] = True
-            placement.assign_site(idx, sid)
+        self._assign_singles(placement, "DSP", singles, occupied)
 
-    def _place_macro(self, placement: Placement, occupied: np.ndarray, chain: tuple[int, ...]) -> None:
-        dev = self.device
+    def _place_macro(
+        self,
+        placement: Placement,
+        occupied: np.ndarray,
+        chain: tuple[int, ...],
+        cols,
+        col_ids: list[np.ndarray],
+    ) -> None:
         length = len(chain)
         tx = float(placement.xy[list(chain), 0].mean())
         tys = placement.xy[list(chain), 1]
-        cols = dev.kind_columns("DSP")
         order = sorted(range(len(cols)), key=lambda c: abs(cols[c].x - tx))
         best = None  # (cost, col, start_row)
         for rank, c in enumerate(order):
             col = cols[c]
-            ids = dev.column_site_ids("DSP", c)
+            ids = col_ids[c]
             if len(ids) < length:
                 continue
             free = ~occupied[ids]
@@ -131,9 +155,9 @@ class Legalizer:
         if best is None:
             raise ValueError(f"no room for a {length}-long DSP cascade macro")
         _, c, start = best
-        ids = dev.column_site_ids("DSP", c)
+        ids = col_ids[c]
         for k, cell_idx in enumerate(chain):
-            sid = ids[start + k]
+            sid = int(ids[start + k])
             occupied[sid] = True
             placement.assign_site(cell_idx, sid)
 
@@ -197,21 +221,69 @@ class Legalizer:
             else:
                 todo.append(c.index)
         todo.sort(key=lambda i: (placement.xy[i, 1], placement.xy[i, 0]))
-        for idx in todo:
-            sid = self._nearest_free("BRAM", placement.xy[idx], occupied)
+        self._assign_singles(placement, "BRAM", todo, occupied)
+
+    def _assign_singles(
+        self, placement: Placement, kind: str, todo: list[int], occupied: np.ndarray
+    ) -> None:
+        """Assign each cell of ``todo`` (in order) its nearest free site.
+
+        The greedy order is sequential — each assignment occupies a site the
+        next cell can no longer take — but all query coordinates are known
+        up front (cells keep their pre-legalization xy until assigned), so
+        the vectorized engine batches the initial k-nearest query for every
+        cell into one distance matrix and only falls back to the escalating
+        per-cell search when a cell's whole candidate prefix is occupied.
+        """
+        if not todo:
+            return
+        if self.method == "reference":
+            for idx in todo:
+                sid = self._nearest_free(kind, placement.xy[idx], occupied)
+                occupied[sid] = True
+                placement.assign_site(idx, sid)
+            return
+        dev = self.device
+        sxy = dev.site_xy(kind)
+        n = occupied.size
+        k = min(32, n)
+        xys = placement.xy[todo]
+        # same op order as Device.nearest_sites: (site - query)**2 per axis
+        d2 = (sxy[None, :, 0] - xys[:, 0:1]) ** 2 + (sxy[None, :, 1] - xys[:, 1:2]) ** 2
+        part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        ranks = np.argsort(np.take_along_axis(d2, part, axis=1), axis=1)
+        cand = np.take_along_axis(part, ranks, axis=1)
+        for row, idx in enumerate(todo):
+            sid = -1
+            for s in cand[row]:
+                if not occupied[s]:
+                    sid = int(s)
+                    break
+            if sid < 0:
+                sid = self._nearest_free(kind, xys[row], occupied, skip=k)
             occupied[sid] = True
             placement.assign_site(idx, sid)
 
-    def _nearest_free(self, kind: str, xy: np.ndarray, occupied: np.ndarray) -> int:
-        k = 32
+    def _nearest_free(
+        self, kind: str, xy: np.ndarray, occupied: np.ndarray, skip: int = 0
+    ) -> int:
+        """Nearest unoccupied site, escalating the query size as needed.
+
+        ``skip`` candidates are known-occupied from a previous (possibly
+        batched) query and are not rechecked — each escalation only scans
+        the newly revealed suffix instead of restarting from the closest
+        site.
+        """
         n = occupied.size
+        k = min(max(32, skip * 4), n)
         while True:
             cand = self.device.nearest_sites(kind, xy[0], xy[1], k=k)
-            for sid in cand:
+            for sid in cand[skip:]:
                 if not occupied[sid]:
                     return int(sid)
             if k >= n:
                 raise ValueError(f"no free {kind} site left")
+            skip = k
             k = min(n, k * 4)
 
     # ------------------------------------------------------------------
@@ -247,12 +319,15 @@ class Legalizer:
         ci = np.where(pick_left, left, ci)
 
         n_cols = len(cols)
-        for pos, idx in enumerate(todo):
-            c0 = int(ci[pos])
-            y = xys[pos, 1]
-            sid = self._clb_probe(c0, y, cols, col_start, load, cap, n_cols)
-            load[sid] += 1
-            placement.assign_site(idx, sid)
+        if self.method == "reference":
+            for pos, idx in enumerate(todo):
+                c0 = int(ci[pos])
+                y = xys[pos, 1]
+                sid = self._clb_probe(c0, y, cols, col_start, load, cap, n_cols)
+                load[sid] += 1
+                placement.assign_site(idx, sid)
+        else:
+            self._fill_clb_batched(placement, todo, xys, ci, cols, col_start, load, cap)
 
     def _clb_probe(self, c0, y, cols, col_start, load, cap, n_cols) -> int:
         """Find a CLB site with spare capacity, spiralling out from (c0, y)."""
@@ -271,6 +346,70 @@ class Legalizer:
                     if 0 <= r < len(ys) and load[base + r] < cap:
                         return base + r
         raise ValueError("unreachable")
+
+    def _fill_clb_batched(
+        self, placement, todo, xys, ci, cols, col_start, load, cap
+    ) -> None:
+        """Batched CLB fill, identical decisions to the per-cell probe.
+
+        The capacity fill is inherently sequential (each placement consumes
+        a slot the next cell can no longer take), so the batching happens
+        around it: the home-column row targets are computed with one
+        ``searchsorted`` per column, the fill itself runs on plain Python
+        lists (constant-time slot checks, no per-cell array dispatch), and
+        the resulting sites are written back to the placement in one gather.
+        """
+        n_cols = len(cols)
+        r0s = np.empty(len(todo), dtype=np.int64)
+        for c in np.unique(ci):
+            m = ci == c
+            ys = cols[c].ys
+            r0s[m] = np.clip(np.searchsorted(ys, xys[m, 1]), 0, len(ys) - 1)
+        load_l = load.tolist()
+        col_ys = [col.ys for col in cols]
+        nrows = [len(ys) for ys in col_ys]
+        bases = [int(b) for b in col_start[:-1]]
+        ci_l = ci.tolist()
+        r0_l = r0s.tolist()
+        y_l = xys[:, 1].tolist()
+        sites = np.empty(len(todo), dtype=np.int64)
+        for pos in range(len(todo)):
+            c0 = ci_l[pos]
+            y = y_l[pos]
+            sid = -1
+            for dc in _spiral():
+                c = c0 + dc
+                if c < 0 or c >= n_cols:
+                    if abs(dc) > n_cols:
+                        raise ValueError("CLB legalization ran out of sites")
+                    continue
+                nr = nrows[c]
+                base = bases[c]
+                if dc == 0:
+                    r0 = r0_l[pos]
+                else:
+                    r0 = int(np.clip(np.searchsorted(col_ys[c], y), 0, nr - 1))
+                found = -1
+                for dr in range(nr):
+                    r = r0 - dr
+                    if r >= 0 and load_l[base + r] < cap:
+                        found = r
+                        break
+                    if dr:
+                        r = r0 + dr
+                        if r < nr and load_l[base + r] < cap:
+                            found = r
+                            break
+                if found >= 0:
+                    sid = base + found
+                    break
+            load_l[sid] += 1
+            sites[pos] = sid
+        load[:] = load_l
+        if todo:
+            idx_arr = np.asarray(todo, dtype=np.int64)
+            placement.site[idx_arr] = sites
+            placement.xy[idx_arr] = self.device.site_xy("CLB")[sites]
 
 
 def _spiral():

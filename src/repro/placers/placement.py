@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.fpga.device import Device
 from repro.netlist.cell import CellType
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 
 
@@ -27,7 +28,7 @@ class Placement:
         center = (device.width / 2.0, device.height / 2.0)
         for cell in netlist.cells:
             self.xy[cell.index] = cell.fixed_xy if cell.is_fixed else center
-        self._net_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._kind_cache: tuple[int, tuple] | None = None
 
     def copy(self) -> "Placement":
         new = Placement.__new__(Placement)
@@ -35,7 +36,7 @@ class Placement:
         new.device = self.device
         new.xy = self.xy.copy()
         new.site = self.site.copy()
-        new._net_arrays = self._net_arrays
+        new._kind_cache = self._kind_cache
         return new
 
     # ------------------------------------------------------------------
@@ -45,26 +46,30 @@ class Placement:
         self.site[cell_idx] = site_id
         self.xy[cell_idx] = self.device.site_xy(kind)[site_id]
 
+    def _pin_structure(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened (pin_cell, net_ptr) arrays, borrowed from the shared
+        :class:`~repro.netlist.csr.NetlistCSR` context (cached per netlist
+        revision; nets store pins driver-first, matching ``net.cells``)."""
+        ctx = get_csr(self.netlist)
+        return ctx.pin_cell, ctx.pin_ptr
+
+    def _net_weights(self) -> np.ndarray:
+        """Per-net weights, read **live** on every call: timing-driven
+        placers rescale ``net.weight`` in place between rounds, so caching
+        here would freeze the weighted HPWL at its first-query value."""
+        nets = self.netlist.nets
+        return np.fromiter(
+            (net.weight for net in nets), dtype=np.float64, count=len(nets)
+        )
+
     def _pin_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Flattened (pin_cell, net_ptr, net_weight) arrays for HPWL."""
-        if self._net_arrays is None:
-            pin_cell: list[int] = []
-            ptr: list[int] = [0]
-            weights: list[float] = []
-            for net in self.netlist.nets:
-                pin_cell.extend(net.cells)
-                ptr.append(len(pin_cell))
-                weights.append(net.weight)
-            self._net_arrays = (
-                np.array(pin_cell, dtype=np.int64),
-                np.array(ptr, dtype=np.int64),
-                np.array(weights, dtype=np.float64),
-            )
-        return self._net_arrays
+        pin_cell, ptr = self._pin_structure()
+        return pin_cell, ptr, self._net_weights()
 
     def net_bboxes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """(xmin, xmax, ymin, ymax) per net, vectorized."""
-        pin_cell, ptr, _ = self._pin_arrays()
+        pin_cell, ptr = self._pin_structure()
         px = self.xy[pin_cell, 0]
         py = self.xy[pin_cell, 1]
         starts = ptr[:-1]
@@ -79,11 +84,39 @@ class Placement:
         xmin, xmax, ymin, ymax = self.net_bboxes()
         lengths = (xmax - xmin) + (ymax - ymin)
         if weighted:
-            _, _, w = self._pin_arrays()
-            lengths = lengths * w
+            lengths = lengths * self._net_weights()
         return float(lengths.sum())
 
     # ------------------------------------------------------------------
+    def _legality_arrays(self) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """(fixed_idx, fixed_xy, {kind: placeable cell indices}) — structure
+        only, cached per netlist revision (positions are read fresh)."""
+        version = getattr(self.netlist, "_version", 0)
+        if self._kind_cache is not None and self._kind_cache[0] == version:
+            return self._kind_cache[1]
+        cells = self.netlist.cells
+        fixed = [c for c in cells if c.is_fixed]
+        fixed_idx = np.fromiter(
+            (c.index for c in fixed), dtype=np.int64, count=len(fixed)
+        )
+        fixed_xy = np.array([c.fixed_xy for c in fixed], dtype=np.float64).reshape(
+            -1, 2
+        )
+        kind_idx = {
+            kind: np.fromiter(
+                (
+                    c.index
+                    for c in cells
+                    if not c.is_fixed and c.ctype.site_kind == kind
+                ),
+                dtype=np.int64,
+            )
+            for kind in ("DSP", "BRAM", "CLB")
+        }
+        data = (fixed_idx, fixed_xy, kind_idx)
+        self._kind_cache = (version, data)
+        return data
+
     def legality_violations(self) -> list[str]:
         """All legality violations (empty list ⇔ the placement is legal).
 
@@ -91,27 +124,52 @@ class Placement:
         sites hold one cell; CLB sites hold at most ``device.clb_capacity``
         cells; every cascade macro occupies consecutive rows of one DSP
         column, predecessor below successor; fixed cells untouched.
+
+        All per-cell checks run as batched array comparisons; Python-level
+        message formatting only happens for actual violators.
         """
-        out: list[str] = []
         nl, dev = self.netlist, self.device
-        used: dict[str, dict[int, int]] = {"DSP": {}, "BRAM": {}, "CLB": {}}
-        for cell in nl.cells:
-            if cell.is_fixed:
-                if not np.allclose(self.xy[cell.index], cell.fixed_xy):
-                    out.append(f"fixed cell {cell.name} moved")
-                continue
-            kind = cell.ctype.site_kind
-            sid = int(self.site[cell.index])
-            if sid < 0 or sid >= dev.n_sites(kind):
-                out.append(f"{cell.name}: no legal {kind} site")
-                continue
-            used[kind][sid] = used[kind].get(sid, 0) + 1
-            if not np.allclose(self.xy[cell.index], dev.site_xy(kind)[sid]):
-                out.append(f"{cell.name}: xy out of sync with site {sid}")
+        cells = nl.cells
+        fixed_idx, fixed_xy, kind_idx = self._legality_arrays()
+        by_cell: list[tuple[int, str]] = []
+        if fixed_idx.size:
+            ok = np.isclose(self.xy[fixed_idx], fixed_xy).all(axis=1)
+            for i in fixed_idx[~ok]:
+                by_cell.append((int(i), f"fixed cell {cells[int(i)].name} moved"))
+        cap_msgs: list[str] = []
         for kind, cap in (("DSP", 1), ("BRAM", 1), ("CLB", dev.clb_capacity)):
-            for sid, cnt in used[kind].items():
-                if cnt > cap:
-                    out.append(f"{kind} site {sid} holds {cnt} cells (cap {cap})")
+            idx = kind_idx[kind]
+            if idx.size == 0:
+                continue
+            sid = self.site[idx]
+            unsited = (sid < 0) | (sid >= dev.n_sites(kind))
+            for i in idx[unsited]:
+                by_cell.append((int(i), f"{cells[int(i)].name}: no legal {kind} site"))
+            good_idx = idx[~unsited]
+            good_sid = sid[~unsited]
+            if good_idx.size == 0:
+                continue
+            ok = np.isclose(
+                self.xy[good_idx], dev.site_xy(kind)[good_sid]
+            ).all(axis=1)
+            for i, s in zip(good_idx[~ok], good_sid[~ok]):
+                by_cell.append(
+                    (int(i), f"{cells[int(i)].name}: xy out of sync with site {int(s)}")
+                )
+            uniq, first, counts = np.unique(
+                good_sid, return_index=True, return_counts=True
+            )
+            over = counts > cap
+            if over.any():
+                # first-seen (ascending-cell) order, matching the loop version
+                order = np.argsort(first[over], kind="stable")
+                for s, cnt in zip(uniq[over][order], counts[over][order]):
+                    cap_msgs.append(
+                        f"{kind} site {int(s)} holds {int(cnt)} cells (cap {cap})"
+                    )
+        by_cell.sort(key=lambda t: t[0])
+        out = [msg for _, msg in by_cell]
+        out.extend(cap_msgs)
         dsp_sites = dev.sites("DSP")
         for macro in nl.macros:
             sids = [int(self.site[i]) for i in macro.dsps]

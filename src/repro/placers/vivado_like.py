@@ -13,12 +13,35 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fpga.device import Device
+from repro.netlist.csr import get_csr
 from repro.netlist.netlist import Netlist
 from repro.obs import trace
 from repro.placers.analytical import GlobalPlaceConfig, QuadraticGlobalPlacer
 from repro.placers.detailed import refine_sites
 from repro.placers.legalizer import Legalizer
 from repro.placers.placement import Placement
+
+
+def td_criticality_weights(
+    slack: np.ndarray,
+    net_driver: np.ndarray,
+    base_weights: np.ndarray,
+    current_weights: np.ndarray,
+    period: float,
+    boost: float,
+) -> np.ndarray:
+    """Per-net timing-driven weights, one gather over the net→driver array.
+
+    ``crit = clip(1 − slack/period, 0, 1)`` of each net's driver scales the
+    net's *base* (pre-reweighting) weight by ``1 + boost·crit``. Drivers
+    with NaN slack (cells outside the timed graph) keep the net's *current*
+    weight — matching the per-net loop this replaces, which skipped those
+    nets and thereby preserved whatever weight the previous round set.
+    """
+    s = slack[net_driver]
+    crit = np.clip(1.0 - s / period, 0.0, 1.0)
+    boosted = base_weights * (1.0 + boost * crit)
+    return np.where(np.isnan(s), current_weights, boosted)
 
 
 def bound_device(placer) -> Device:
@@ -109,12 +132,20 @@ class VivadoLikePlacer:
                         break
                     report = sta.analyze(place, period_ns=period, with_slacks=True)
                     slack = report.cell_output_slack
-                    for net, w0 in zip(netlist.nets, original):
-                        s = slack[net.driver]
-                        if np.isnan(s):
-                            continue
-                        crit = float(np.clip(1.0 - s / period, 0.0, 1.0))
-                        net.weight = w0 * (1.0 + self.td_boost * crit)
+                    nets = netlist.nets
+                    current = np.fromiter(
+                        (net.weight for net in nets), dtype=np.float64, count=len(nets)
+                    )
+                    new_w = td_criticality_weights(
+                        np.asarray(slack, dtype=np.float64),
+                        get_csr(netlist).net_driver,
+                        np.asarray(original, dtype=np.float64),
+                        current,
+                        period,
+                        self.td_boost,
+                    )
+                    for net, w in zip(nets, new_w.tolist()):
+                        net.weight = w
                     place = self._one_pass(netlist, device, place, movable_mask, run_seed)
             finally:
                 for net, w0 in zip(netlist.nets, original):

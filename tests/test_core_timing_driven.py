@@ -72,6 +72,46 @@ class TestSetCriticality:
         assert d1 <= d0
 
 
+class TestTdCriticalityWeights:
+    """The one-gather reweighting helper vs the per-net loop it replaced."""
+
+    def test_matches_per_net_loop_oracle(self):
+        from repro.placers.vivado_like import td_criticality_weights
+
+        rng = np.random.default_rng(3)
+        n_cells, n_nets = 40, 25
+        slack = rng.uniform(-3.0, 8.0, n_cells)
+        slack[rng.integers(0, n_cells, 6)] = np.nan
+        driver = rng.integers(0, n_cells, n_nets)
+        base = rng.uniform(0.5, 2.0, n_nets)
+        current = rng.uniform(0.5, 4.0, n_nets)
+        period, boost = 5.0, 2.0
+        got = td_criticality_weights(slack, driver, base, current, period, boost)
+        for k in range(n_nets):
+            s = slack[driver[k]]
+            if np.isnan(s):
+                # the loop `continue`d, preserving earlier-round boosts —
+                # the net keeps its *current* weight, not its base weight
+                assert got[k] == current[k]
+            else:
+                crit = min(max(1.0 - s / period, 0.0), 1.0)
+                assert got[k] == pytest.approx(base[k] * (1.0 + boost * crit))
+
+    def test_all_nan_slack_is_identity(self):
+        from repro.placers.vivado_like import td_criticality_weights
+
+        current = np.array([1.5, 2.5, 0.5])
+        got = td_criticality_weights(
+            np.full(4, np.nan),
+            np.array([0, 2, 3]),
+            np.ones(3),
+            current,
+            5.0,
+            2.0,
+        )
+        np.testing.assert_array_equal(got, current)
+
+
 class TestTimingDrivenFlow:
     def test_flow_runs_and_is_legal(self, mini_accel, small_dev):
         placer = DSPlacer(

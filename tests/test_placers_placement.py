@@ -52,6 +52,22 @@ class TestHPWL:
         assert p.hpwl(weighted=True) == pytest.approx(5 * 10.0 + 10.0)
         # dsp1 is on c01 (w=5) and c12 (w=1)
 
+    def test_weighted_hpwl_tracks_live_weight_mutation(self, tiny_netlist, small_dev):
+        """Regression: the per-net weights used to be cached on the first
+        weighted query, so timing-driven reweighting (which mutates
+        ``net.weight`` in place between rounds) silently kept scoring the
+        stale weights."""
+        p = Placement(tiny_netlist, small_dev)
+        p.xy[:] = 0.0
+        b = tiny_netlist.cell_by_name("dsp1").index
+        p.xy[b] = (10.0, 0.0)
+        before = p.hpwl(weighted=True)
+        assert before == pytest.approx(20.0)  # c01 + c12, both w=1
+        for net in tiny_netlist.nets:
+            if net.name == "c01":
+                net.weight = 7.0
+        assert p.hpwl(weighted=True) == pytest.approx(before + 6 * 10.0)
+
     def test_hpwl_translation_invariant(self, place, rng):
         movable = place.netlist.movable_indices()
         place.xy[movable] = rng.uniform(0, 300, (len(movable), 2))
